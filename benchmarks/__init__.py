@@ -1,0 +1,2 @@
+"""Benchmark suite: one module per paper figure plus ablations and
+micro-benchmarks."""

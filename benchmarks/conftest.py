@@ -1,0 +1,46 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one table/figure of the paper at the scale
+selected by ``REPRO_SCALE`` (``tiny`` / ``small`` / ``paper``; default
+``small``).  The drivers are deterministic, so the interesting output is
+the *shape* assertions plus the rendered rows recorded in
+``benchmark.extra_info`` and printed for ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import current_scale
+
+_CAPTURE_MANAGER = None
+
+
+def pytest_configure(config):
+    global _CAPTURE_MANAGER
+    _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def record(benchmark, rendered: str, **extra):
+    """Stash the figure's rendered rows in the benchmark report and print
+    them so ``pytest benchmarks/ | tee bench_output.txt`` captures the
+    regenerated rows/series.  Printing happens with pytest's capture
+    suspended so the rows reach the terminal/tee for passing tests too."""
+    benchmark.extra_info["figure"] = rendered
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value
+    if _CAPTURE_MANAGER is not None:
+        with _CAPTURE_MANAGER.global_and_fixture_disabled():
+            print("\n" + rendered)
+    else:
+        print("\n" + rendered)

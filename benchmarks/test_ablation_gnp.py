@@ -1,0 +1,81 @@
+"""Ablation — GNP-coordinate ID assignment vs direct measurement.
+
+Section 5: "[GNP] can be used in our system to reduce the probing cost of
+each joining user ... the key server ... can determine the ID for a
+joining user by centralized computing."  This benchmark implements that
+suggestion and quantifies the trade: a joiner probes only the L landmarks
+(instead of pinging every collected candidate), at some cost in ID
+quality — measured as the T-mesh RDP the resulting overlay delivers.
+"""
+
+import numpy as np
+
+from repro import PAPER_SCHEME
+from repro.core.neighbor_table import (
+    UserRecord,
+    build_consistent_tables,
+    build_server_table,
+)
+from repro.core.tmesh import rekey_session
+from repro.experiments.common import CentralizedController, build_topology
+from repro.metrics.latency import tmesh_latency
+from repro.net.gnp import GnpEstimatedTopology, fit_gnp
+
+from .conftest import record, run_once
+
+
+def _assign_and_measure(assignment_topology, real_topology, num_users, seed):
+    """Assign IDs over ``assignment_topology`` (real or GNP estimates),
+    then evaluate the overlay on the *real* topology."""
+    controller = CentralizedController(PAPER_SCHEME, assignment_topology, seed)
+    records = []
+    for host in range(num_users):
+        uid = controller.join(host)
+        records.append(
+            UserRecord(uid, host, real_topology.access_rtt(host))
+        )
+    tables = build_consistent_tables(
+        PAPER_SCHEME, records, real_topology.rtt, k=4
+    )
+    server_table = build_server_table(
+        PAPER_SCHEME, num_users, records, real_topology.rtt, k=4
+    )
+    session = rekey_session(server_table, tables, real_topology)
+    latency = tmesh_latency(session, real_topology)
+    return {
+        "median_rdp": float(np.median(latency.rdp)),
+        "rdp_lt2": float(np.mean(latency.rdp < 2)),
+        "median_delay": float(np.median(latency.app_delay)),
+    }
+
+
+def test_gnp_assignment_tradeoff(benchmark, scale):
+    n = scale.planetlab_users
+
+    def run_both():
+        topology = build_topology("planetlab", n, seed=17)
+        model = fit_gnp(topology, num_landmarks=15, dim=6, seed=17)
+        gnp_view = GnpEstimatedTopology(topology, model)
+        return (
+            _assign_and_measure(topology, topology, n, 17),
+            _assign_and_measure(gnp_view, topology, n, 17),
+            model.probes_per_host,
+        )
+
+    measured, gnp, probes = run_once(benchmark, run_both)
+    rendered = (
+        f"Ablation — GNP coordinates vs direct measurement "
+        f"(PlanetLab, {n} users)\n"
+        f"{'metric':28s} {'measured':>10s} {'GNP':>10s}\n"
+        f"{'probes per joiner':28s} {'O(P*D*N^1/D)':>10s} {probes:>10d}\n"
+        f"{'median RDP':28s} {measured['median_rdp']:>10.2f} "
+        f"{gnp['median_rdp']:>10.2f}\n"
+        f"{'users with RDP < 2':28s} {measured['rdp_lt2']:>9.0%} "
+        f"{gnp['rdp_lt2']:>9.0%}\n"
+        f"{'median app delay (ms)':28s} {measured['median_delay']:>10.1f} "
+        f"{gnp['median_delay']:>10.1f}"
+    )
+    record(benchmark, rendered)
+    # GNP trades a bounded amount of latency quality for O(L) probing.
+    assert gnp["median_rdp"] <= measured["median_rdp"] * 1.6 + 0.5
+    assert gnp["rdp_lt2"] >= measured["rdp_lt2"] * 0.6

@@ -1,0 +1,72 @@
+"""Ablation — table redundancy K vs failure resilience.
+
+Section 2.3: with K > 1, a member that detects a failed next hop simply
+forwards to another neighbor in the same entry.  This benchmark crashes a
+fraction of the group *silently* (stale records still in tables) and
+measures what fraction of the surviving users a rekey multicast still
+reaches, for K = 1, 2, 4, with the backup-failover rule enabled.
+"""
+
+import numpy as np
+
+from repro.core.ids import IdScheme
+from repro.core.tmesh import run_multicast
+from repro.experiments.common import build_group, build_topology
+
+from .conftest import record, run_once
+
+K_VALUES = (1, 2, 4)
+FAIL_FRACTION = 0.15
+
+# A dense ID space (B=4) so multicast subtrees hold many users and a
+# failed forwarder actually has downstream users to cut off.
+SCHEME = IdScheme(num_digits=5, base=4)
+
+
+def _coverage(k: int, num_users: int, seed: int) -> float:
+    topology = build_topology("gtitm", num_users, seed)
+    group = build_group(
+        topology,
+        num_users,
+        seed,
+        scheme=SCHEME,
+        thresholds=(150.0, 30.0, 9.0, 3.0),
+        k=k,
+    )
+    rng = np.random.default_rng(seed)
+    n_fail = int(num_users * FAIL_FRACTION)
+    victims = [
+        list(group.user_ids)[int(i)]
+        for i in rng.choice(num_users, size=n_fail, replace=False)
+    ]
+    failed_hosts = {group.records[uid].host for uid in victims}
+    alive = set(group.user_ids) - set(victims)
+    session = run_multicast(
+        group.server_table,
+        group.tables,
+        topology,
+        failed_hosts=failed_hosts,
+        use_backups=True,
+    )
+    return len(set(session.receipts) & alive) / len(alive)
+
+
+def test_higher_k_masks_more_failures(benchmark, scale):
+    n = scale.gtitm_users_small
+
+    def sweep():
+        return {k: _coverage(k, n, seed=19) for k in K_VALUES}
+
+    coverage = run_once(benchmark, sweep)
+    lines = [
+        f"Ablation — K vs delivery coverage under {FAIL_FRACTION:.0%} "
+        f"silent failures (GT-ITM, {n} users)",
+        f"{'K':>3s} {'alive users reached':>20s}",
+    ]
+    for k in K_VALUES:
+        lines.append(f"{k:>3d} {coverage[k]:>19.0%}")
+    record(benchmark, "\n".join(lines))
+    # more backups, more coverage; K=4 should mask nearly everything
+    assert coverage[1] <= coverage[2] + 0.02
+    assert coverage[2] <= coverage[4] + 0.02
+    assert coverage[4] > 0.95

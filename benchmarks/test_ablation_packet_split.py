@@ -1,0 +1,64 @@
+"""Ablation — encryption-level vs packet-level rekey message splitting.
+
+Section 2.5: "An alternative way is to split and re-compose the rekey
+message at packet level, instead of encryption level.  In this case, the
+rekey bandwidth overhead would be larger."  This benchmark quantifies the
+gap for several packet sizes.
+"""
+
+import numpy as np
+
+from repro.core.splitting import run_packet_split_rekey, run_split_rekey
+from repro.core.tmesh import rekey_session
+from repro.experiments.common import build_group, build_topology
+from repro.keytree.modified_tree import ModifiedKeyTree
+
+from .conftest import record, run_once
+
+PACKET_SIZES = (4, 16, 64)
+
+
+def _run(num_users: int, seed: int):
+    topology = build_topology("gtitm", num_users, seed)
+    group = build_group(topology, num_users, seed)
+    tree = ModifiedKeyTree(group.scheme)
+    for uid in group.user_ids:
+        tree.request_join(uid)
+    tree.process_batch()
+    rng = np.random.default_rng(seed)
+    victims = [
+        list(group.user_ids)[int(i)]
+        for i in rng.choice(num_users, size=num_users // 4, replace=False)
+    ]
+    for uid in victims:
+        group.leave(uid)
+        tree.request_leave(uid)
+    message = tree.process_batch()
+    session = rekey_session(group.server_table, group.tables, topology)
+
+    per_enc = run_split_rekey(session, message)
+    rows = {"encryption-level": float(np.mean(list(per_enc.received.values())))}
+    for size in PACKET_SIZES:
+        packet = run_packet_split_rekey(session, message, packet_size=size)
+        rows[f"packet-level (S={size})"] = float(
+            np.mean(list(packet.received.values()))
+        )
+    return message.rekey_cost, rows
+
+
+def test_packet_split_costs_more(benchmark, scale):
+    cost, rows = run_once(benchmark, _run, scale.gtitm_users_small, 16)
+    lines = [
+        f"Ablation — splitting granularity (message = {cost} encryptions)",
+        f"{'granularity':26s} {'mean received/user':>20s}",
+    ]
+    for name, value in rows.items():
+        lines.append(f"{name:26s} {value:>20.1f}")
+    record(benchmark, "\n".join(lines))
+    base = rows["encryption-level"]
+    previous = base
+    for size in PACKET_SIZES:
+        current = rows[f"packet-level (S={size})"]
+        assert current >= base  # packets never beat per-encryption
+        assert current >= previous - 1e-9  # and degrade with packet size
+        previous = current

@@ -1,0 +1,57 @@
+"""Ablation — rekey message composition strategies (WGL).
+
+The system is group-oriented: one rekey message, each encryption once,
+pruned per hop by the splitting scheme.  The classical alternative that
+needs no splitting machinery — user-oriented composition — re-encrypts
+every shared key once per user.  This benchmark compares the server-side
+encryption counts of the three WGL strategies on the same batch, showing
+why group-oriented + splitting is the right baseline to optimize.
+"""
+
+import numpy as np
+
+from repro.core.ids import IdScheme
+from repro.experiments.common import CentralizedController, build_topology
+from repro.keytree.modified_tree import ModifiedKeyTree
+from repro.keytree.strategies import modified_tree_strategy_costs
+
+from .conftest import record, run_once
+
+
+def _run(num_users: int, seed: int):
+    topology = build_topology("gtitm", num_users, seed)
+    controller = CentralizedController(
+        IdScheme(5, 256), topology, seed
+    )
+    rng = np.random.default_rng(seed)
+    ids = [controller.join(int(h)) for h in range(num_users)]
+    tree = ModifiedKeyTree(controller.scheme)
+    for uid in ids:
+        tree.request_join(uid)
+    tree.process_batch()
+    victims = [
+        ids[int(i)]
+        for i in rng.choice(num_users, size=num_users // 4, replace=False)
+    ]
+    for uid in victims:
+        tree.request_leave(uid)
+    message = tree.process_batch()
+    remaining = [u for u in ids if u not in set(victims)]
+    return message.rekey_cost, modified_tree_strategy_costs(message, remaining)
+
+
+def test_group_oriented_minimizes_server_encryptions(benchmark, scale):
+    n = scale.gtitm_users_small
+    cost, strategies = run_once(benchmark, _run, n, 23)
+    lines = [
+        f"Ablation — WGL composition strategies "
+        f"(modified tree, {n} users, 25% leave)",
+        f"{'strategy':16s} {'messages':>9s} {'encryptions':>12s}",
+    ]
+    for name in ("group-oriented", "key-oriented", "user-oriented"):
+        s = strategies[name]
+        lines.append(f"{name:16s} {s.messages:>9d} {s.encryptions:>12d}")
+    record(benchmark, "\n".join(lines))
+    assert strategies["group-oriented"].encryptions == cost
+    assert strategies["key-oriented"].encryptions == cost
+    assert strategies["user-oriented"].encryptions > cost

@@ -1,0 +1,21 @@
+"""Fig. 10 — data path latency on the GT-ITM topology, 256 user joins."""
+
+from repro.experiments.latency_experiments import run_latency_experiment
+
+from .conftest import record, run_once
+
+
+def test_fig10_data_latency_gtitm_256(benchmark, scale):
+    cmp = run_once(
+        benchmark,
+        run_latency_experiment,
+        "Fig 10",
+        "gtitm",
+        scale.gtitm_users_small,
+        mode="data",
+        runs=max(1, scale.latency_runs // 2),
+        seed=10,
+    )
+    record(benchmark, cmp.render(), **cmp.headlines())
+    h = cmp.headlines()
+    assert h["tmesh_median_delay_ms"] < h["nice_median_delay_ms"] * 1.2

@@ -1,0 +1,21 @@
+"""Fig. 11 — data path latency on the GT-ITM topology, 1024 user joins."""
+
+from repro.experiments.latency_experiments import run_latency_experiment
+
+from .conftest import record, run_once
+
+
+def test_fig11_data_latency_gtitm_1024(benchmark, scale):
+    cmp = run_once(
+        benchmark,
+        run_latency_experiment,
+        "Fig 11",
+        "gtitm",
+        scale.gtitm_users_large,
+        mode="data",
+        runs=max(1, scale.latency_runs // 2),
+        seed=11,
+    )
+    record(benchmark, cmp.render(), **cmp.headlines())
+    h = cmp.headlines()
+    assert h["tmesh_median_delay_ms"] < h["nice_median_delay_ms"] * 1.2

@@ -1,0 +1,46 @@
+"""Fig. 12 — rekey cost as a function of joins and leaves.
+
+Paper (1024 users, 20 runs/point): (a) modified-tree cost grows with
+churn; (b) the modified tree costs more than the original WGL/ToN'03 tree
+for equal churn (joining u-nodes can only reuse departed positions when
+IDs share the first D-1 digits); (c) with the cluster heuristic the cost
+drops below the original tree's when the fraction of leaving users is
+small.
+"""
+
+import numpy as np
+
+from repro.experiments.rekey_cost import default_grid, run_rekey_cost
+
+from .conftest import record, run_once
+
+
+def test_fig12_rekey_cost(benchmark, scale):
+    n = scale.gtitm_users_large
+    surface = run_once(
+        benchmark,
+        run_rekey_cost,
+        num_users=n,
+        grid=default_grid(n, scale.rekey_cost_grid),
+        runs=scale.rekey_cost_runs,
+        seed=12,
+    )
+    record(benchmark, surface.render())
+    axis = sorted({p.joins for p in surface.points})
+
+    # (a) cost increases with churn from the empty corner
+    assert surface.point(0, 0).modified == 0
+    assert surface.point(axis[-1], axis[1]).modified > 0
+
+    # (b) modified >= original on average over non-trivial points
+    diffs = [
+        p.modified_minus_original
+        for p in surface.points
+        if (p.joins, p.leaves) != (0, 0) and p.leaves < n
+    ]
+    assert np.mean(diffs) > 0
+
+    # (c) cluster heuristic beats the original tree when leaves are few
+    join_heavy = [p for p in surface.points if p.joins > 0 and p.leaves == 0]
+    assert join_heavy
+    assert all(p.cluster_minus_original < 0 for p in join_heavy)

@@ -1,0 +1,46 @@
+"""Fig. 13 — rekey bandwidth overhead under the seven Table-2 protocols.
+
+Paper (GT-ITM, 1024 users, 256 joins + 256 leaves in one interval):
+
+* splitting is very effective: comparing P0'->P1', P1->P2, P3->P4, more
+  than 90% of users and links drop from several thousand encryptions to
+  fewer than ten (T-mesh protocols);
+* in T-mesh (P2/P4) no user receives or forwards more than ~350
+  encryptions and only a few key-server-adjacent links carry up to ~1500;
+* with NICE (P1'), a few users near the root still forward 1000-10000
+  encryptions and some links carry up to ~4000.
+"""
+
+from repro.experiments.bandwidth_experiment import run_bandwidth_experiment
+
+from .conftest import record, run_once
+
+
+def test_fig13_bandwidth(benchmark, scale):
+    exp = run_once(
+        benchmark,
+        run_bandwidth_experiment,
+        num_users=scale.gtitm_users_large,
+        churn=scale.bandwidth_churn,
+        seed=13,
+    )
+    record(benchmark, exp.render())
+    r = exp.results
+
+    # splitting slashes the per-user maxima for every pair
+    assert r["P2"].max_forwarded() < r["P1"].max_forwarded()
+    assert r["P4"].max_forwarded() < r["P3"].max_forwarded()
+    assert r["P1'"].max_forwarded() < r["P0'"].max_forwarded()
+
+    # most users end up under 10 encryptions with T-mesh splitting
+    assert r["P2"].fraction_users_below(10) > 0.5
+    assert r["P4"].fraction_users_below(10) > 0.5
+    # ...which no unsplit protocol achieves
+    assert r["P1"].fraction_users_below(10) < 0.1
+    assert r["P0'"].fraction_users_below(10) < 0.1
+
+    # T-mesh splitting beats NICE splitting at the hot spots
+    assert r["P2"].max_forwarded() <= r["P1'"].max_forwarded()
+
+    # links: splitting reduces the worst-loaded link
+    assert r["P2"].max_link() < r["P1"].max_link()

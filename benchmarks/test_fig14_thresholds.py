@@ -1,0 +1,23 @@
+"""Fig. 14 — sensitivity of T-mesh latency to D and the delay thresholds.
+
+Paper (PlanetLab, 226 joins): the latency performance of T-mesh is not
+sensitive to the various (D, R_1..R_{D-1}) values chosen by the
+Section-4.4 heuristic.
+"""
+
+from repro.experiments.thresholds import run_threshold_sweep
+
+from .conftest import record, run_once
+
+
+def test_fig14_threshold_sensitivity(benchmark, scale):
+    sweep = run_once(
+        benchmark,
+        run_threshold_sweep,
+        num_users=scale.planetlab_users,
+        seed=14,
+    )
+    record(benchmark, sweep.render())
+    assert sweep.max_median_delay_spread() < 2.0
+    for variant in sweep.variants:
+        assert variant.fraction_rdp_below(3.0) > 0.5

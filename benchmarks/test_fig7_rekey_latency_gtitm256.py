@@ -1,0 +1,26 @@
+"""Fig. 7 — rekey path latency on the GT-ITM topology, 256 user joins.
+
+Paper: the relative performance of T-mesh to NICE has no significant
+change when the simulation topology changes from PlanetLab to GT-ITM.
+"""
+
+from repro.experiments.latency_experiments import run_latency_experiment
+
+from .conftest import record, run_once
+
+
+def test_fig7_rekey_latency_gtitm_256(benchmark, scale):
+    cmp = run_once(
+        benchmark,
+        run_latency_experiment,
+        "Fig 7",
+        "gtitm",
+        scale.gtitm_users_small,
+        mode="rekey",
+        runs=max(1, scale.latency_runs // 2),
+        seed=7,
+    )
+    record(benchmark, cmp.render(), **cmp.headlines())
+    h = cmp.headlines()
+    assert h["tmesh_median_delay_ms"] < h["nice_median_delay_ms"]
+    assert h["tmesh_rdp_lt2"] > h["nice_rdp_lt2"]

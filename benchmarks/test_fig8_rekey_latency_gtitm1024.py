@@ -1,0 +1,25 @@
+"""Fig. 8 — rekey path latency on the GT-ITM topology, 1024 user joins.
+
+Paper: same relative ordering as Figs. 6-7 at four times the group size.
+"""
+
+from repro.experiments.latency_experiments import run_latency_experiment
+
+from .conftest import record, run_once
+
+
+def test_fig8_rekey_latency_gtitm_1024(benchmark, scale):
+    cmp = run_once(
+        benchmark,
+        run_latency_experiment,
+        "Fig 8",
+        "gtitm",
+        scale.gtitm_users_large,
+        mode="rekey",
+        runs=max(1, scale.latency_runs // 2),
+        seed=8,
+    )
+    record(benchmark, cmp.render(), **cmp.headlines())
+    h = cmp.headlines()
+    assert h["tmesh_median_delay_ms"] < h["nice_median_delay_ms"]
+    assert h["tmesh_rdp_lt2"] > h["nice_rdp_lt2"]

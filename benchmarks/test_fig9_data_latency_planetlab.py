@@ -1,0 +1,27 @@
+"""Fig. 9 — data path latency on the PlanetLab topology.
+
+Paper: a random user multicasts a data message; the relative performance
+of T-mesh to NICE is similar to the rekey-transport case (data enters
+NICE via the sender's cluster leader, bottom-up then top-down).
+"""
+
+from repro.experiments.latency_experiments import run_latency_experiment
+
+from .conftest import record, run_once
+
+
+def test_fig9_data_latency_planetlab(benchmark, scale):
+    cmp = run_once(
+        benchmark,
+        run_latency_experiment,
+        "Fig 9",
+        "planetlab",
+        scale.planetlab_users,
+        mode="data",
+        runs=scale.latency_runs,
+        seed=9,
+    )
+    record(benchmark, cmp.render(), **cmp.headlines())
+    h = cmp.headlines()
+    assert h["tmesh_median_delay_ms"] < h["nice_median_delay_ms"] * 1.2
+    assert h["tmesh_rdp_lt2"] >= h["nice_rdp_lt2"]

@@ -1,0 +1,33 @@
+"""Extension — batch-rekeying interval length vs amortized cost.
+
+Periodic batch rekeying (the regime the paper's system runs in)
+amortizes shared path updates across the requests of an interval.  This
+benchmark sweeps the interval length under Poisson churn and asserts the
+batching economy: the amortized cost per join/leave falls monotonically
+as intervals grow, while the absolute per-interval message grows much
+slower than linearly.
+"""
+
+from repro.experiments.interval_sweep import run_interval_sweep
+
+from .conftest import record, run_once
+
+
+def test_batching_amortizes_rekey_cost(benchmark, scale):
+    sweep = run_once(
+        benchmark,
+        run_interval_sweep,
+        num_users=scale.gtitm_users_small,
+        intervals=(8.0, 32.0, 128.0, 512.0),
+        rate_per_s=0.4,
+        horizon_s=2048.0,
+        seed=21,
+    )
+    record(benchmark, sweep.render())
+    per_request = [p.cost_per_request for p in sweep.points]
+    assert all(
+        earlier >= later
+        for earlier, later in zip(per_request, per_request[1:])
+    ), per_request
+    # batching wins by a large factor across the sweep
+    assert per_request[0] > 3 * per_request[-1]

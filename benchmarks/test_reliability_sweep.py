@@ -1,0 +1,68 @@
+"""Reliability sweep — rekey delivery under packet loss.
+
+The paper's rekey transport requires fast, reliable delivery of the
+bursty rekey message.  This benchmark sweeps per-packet loss rates and
+measures, with and without proactive XOR-parity FEC (the ToN'03
+mechanism), how many members end an interval with incomplete keys and
+therefore need reference-[31]-style unicast recovery from the server.
+"""
+
+import numpy as np
+
+from repro.core.group import SecureGroup
+from repro.keytree.recovery import FecEncoder
+from repro.net import TransitStubParams, TransitStubTopology
+
+from .conftest import record, run_once
+
+LOSS_RATES = (0.01, 0.05, 0.15)
+
+
+def _run(num_users: int, seed: int):
+    params = TransitStubParams(
+        transit_domains=3, transit_per_domain=4,
+        stubs_per_transit=2, stub_size=7,
+    )
+    rows = []
+    for loss in LOSS_RATES:
+        for use_fec in (False, True):
+            topology = TransitStubTopology(
+                num_hosts=num_users + 1, params=params, seed=seed
+            )
+            group = SecureGroup(topology, server_host=num_users, seed=seed)
+            members = [group.join(h) for h in range(num_users)]
+            group.end_interval()
+            # churn so the next message is non-trivial
+            for victim in members[: num_users // 5]:
+                group.leave(victim.user_id)
+            report = group.end_interval(
+                loss_rate=loss,
+                fec=FecEncoder(packet_size=2, block_packets=4) if use_fec else None,
+                loss_rng=np.random.default_rng(seed + int(loss * 100)),
+            )
+            recoveries = len(report.incomplete)
+            for uid in report.incomplete:
+                group.recover_member(uid)
+            assert group.verify_member_keys() == []
+            rows.append((loss, use_fec, recoveries, report.fec_repaired_blocks))
+    return rows
+
+
+def test_fec_cuts_unicast_recoveries(benchmark, scale):
+    n = scale.gtitm_users_small
+    rows = run_once(benchmark, _run, n, 27)
+    lines = [
+        f"Reliability — unicast recoveries vs loss rate (GT-ITM, {n} users)",
+        f"{'loss':>6s} {'FEC':>5s} {'recoveries':>11s} {'blocks repaired':>16s}",
+    ]
+    for loss, use_fec, recoveries, repaired in rows:
+        lines.append(
+            f"{loss:>6.0%} {'yes' if use_fec else 'no':>5s} "
+            f"{recoveries:>11d} {repaired:>16d}"
+        )
+    record(benchmark, "\n".join(lines))
+    by_key = {(loss, fec): rec for loss, fec, rec, _ in rows}
+    for loss in LOSS_RATES:
+        assert by_key[(loss, True)] <= by_key[(loss, False)]
+    # at low loss, FEC should repair nearly everything locally
+    assert by_key[(LOSS_RATES[0], True)] <= max(1, n // 20)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Rekeying over a lossy WAN: FEC + limited unicast recovery.
+
+Rekey messages are bursty and must be delivered fast and reliably
+(Section 1).  This example pushes a secure group through rekey intervals
+while the network drops packets, comparing three reliability stances:
+
+1. nothing — lost packets mean lost keys; members silently fall out of
+   sync until they try to read data and fail;
+2. proactive XOR-parity FEC (the ToN'03 mechanism) — single losses per
+   block repair locally, no round trips;
+3. FEC + limited unicast recovery (reference [31]) — whoever is still
+   incomplete asks the key server for its key path.
+
+Run:  python examples/lossy_wan.py
+"""
+
+import numpy as np
+
+from repro import SecureGroup, TransitStubParams, TransitStubTopology
+from repro.keytree.recovery import FecEncoder
+
+PARAMS = TransitStubParams(
+    transit_domains=3, transit_per_domain=4, stubs_per_transit=2, stub_size=7
+)
+NUM_USERS = 60
+LOSS_RATE = 0.10
+
+
+def fresh_group(seed):
+    topology = TransitStubTopology(
+        num_hosts=NUM_USERS + 1, params=PARAMS, seed=seed
+    )
+    group = SecureGroup(topology, server_host=NUM_USERS, seed=seed)
+    members = [group.join(h) for h in range(NUM_USERS)]
+    group.end_interval()
+    # churn so the measured interval carries a real rekey message
+    for member in members[: NUM_USERS // 5]:
+        group.leave(member.user_id)
+    return group
+
+
+print(f"secure group of {NUM_USERS}, {LOSS_RATE:.0%} packet loss on rekey "
+      f"delivery\n")
+
+# --- stance 1: no protection -------------------------------------------
+group = fresh_group(31)
+report = group.end_interval(
+    loss_rate=LOSS_RATE, loss_rng=np.random.default_rng(1)
+)
+print(f"no protection : {len(report.incomplete):2d} members missing keys "
+      f"after the interval")
+speaker_id = next(uid for uid in group.members if uid not in report.incomplete)
+blob = group.members[speaker_id].seal(b"can you hear me?")
+deaf = 0
+for member in group.members.values():
+    try:
+        member.open(blob)
+    except KeyError:
+        deaf += 1
+print(f"                {deaf} of them cannot decrypt the current stream")
+
+# --- stance 2: FEC -------------------------------------------------------
+group = fresh_group(31)
+report = group.end_interval(
+    loss_rate=LOSS_RATE,
+    fec=FecEncoder(packet_size=2, block_packets=4),
+    loss_rng=np.random.default_rng(1),
+)
+print(f"\nwith FEC      : {len(report.incomplete):2d} members missing keys "
+      f"({report.fec_repaired_blocks} blocks repaired locally, "
+      f"{FecEncoder(block_packets=4).overhead_ratio():.0%} parity overhead)")
+
+# --- stance 3: FEC + unicast recovery ------------------------------------
+for user_id in report.incomplete:
+    group.recover_member(user_id)
+audit = group.verify_member_keys()
+print(f"+ recovery    : {len(report.incomplete)} unicast key-path grants; "
+      f"audit {'OK' if not audit else 'FAILED'}")
+
+blob = next(iter(group.members.values())).seal(b"loud and clear")
+readers = sum(
+    1 for m in group.members.values() if m.open(blob) == b"loud and clear"
+)
+print(f"\nafter recovery, {readers}/{len(group.members)} members decrypt "
+      f"the stream.")

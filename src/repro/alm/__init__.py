@@ -1,0 +1,25 @@
+"""Baseline ALM schemes the paper compares against: NICE and IP multicast."""
+
+from .base import AlmEdge, AlmSessionResult
+from .nice import Cluster, NiceHierarchy, PAPER_NICE_K, nice_multicast
+from .ipmulticast import (
+    ip_multicast_link_counts,
+    ip_multicast_session,
+    ip_multicast_tree_links,
+)
+from .scribe import ScribeGroup, build_scribe_group, scribe_multicast
+
+__all__ = [
+    "AlmEdge",
+    "AlmSessionResult",
+    "Cluster",
+    "NiceHierarchy",
+    "PAPER_NICE_K",
+    "nice_multicast",
+    "ip_multicast_link_counts",
+    "ip_multicast_session",
+    "ip_multicast_tree_links",
+    "ScribeGroup",
+    "build_scribe_group",
+    "scribe_multicast",
+]

@@ -1,0 +1,60 @@
+"""Shared types for baseline ALM schemes (NICE, IP multicast).
+
+Baseline schemes address members by topology host index (they have no
+notion of the paper's user IDs), so their session results are keyed by
+host.  The metrics of Section 4.1 — user stress, application-layer delay,
+RDP — are computable from this record just as from a T-mesh session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..net.topology import Topology
+
+
+@dataclass(frozen=True)
+class AlmEdge:
+    """One overlay (or server-unicast) hop of a baseline multicast."""
+
+    src_host: int
+    dst_host: int
+    send_time: float
+    arrival_time: float
+
+
+@dataclass
+class AlmSessionResult:
+    """Delivery record of one baseline multicast session."""
+
+    sender_host: int
+    arrival: Dict[int, float] = field(default_factory=dict)
+    upstream: Dict[int, int] = field(default_factory=dict)
+    edges: List[AlmEdge] = field(default_factory=list)
+    duplicate_copies: Dict[int, int] = field(default_factory=dict)
+
+    def user_stress(self, host: int) -> int:
+        return sum(1 for e in self.edges if e.src_host == host)
+
+    def app_delay(self, host: int) -> float:
+        return self.arrival[host]
+
+    def rdp(self, host: int, topology: Topology) -> float:
+        unicast = topology.one_way_delay(self.sender_host, host)
+        if unicast <= 0:
+            return 1.0
+        return self.arrival[host] / unicast
+
+    def downstream_hosts(self, host: int) -> List[int]:
+        """Hosts below ``host`` in the session's delivery tree."""
+        children: Dict[int, List[int]] = {}
+        for receiver, parent in self.upstream.items():
+            children.setdefault(parent, []).append(receiver)
+        result: List[int] = []
+        stack = list(children.get(host, ()))
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(children.get(node, ()))
+        return result

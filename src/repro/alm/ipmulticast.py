@@ -1,0 +1,64 @@
+"""DVMRP-style IP multicast baseline (protocol P0 of Table 2).
+
+The paper's P0 uses the IP multicast scheme of Wong–Gouda–Lam [23], based
+on the DVMRP routing algorithm: a shortest-path source tree rooted at the
+sender's router.  End hosts do no forwarding; the per-network-link cost of
+a rekey multicast is one full message copy on every tree link, and each
+user receives the full message exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..net.gtitm import TransitStubTopology
+from ..net.routing import LinkStressCounter
+from .base import AlmEdge, AlmSessionResult
+
+
+def ip_multicast_tree_links(
+    topology: TransitStubTopology,
+    source_host: int,
+    receiver_hosts: Sequence[int],
+) -> Set[int]:
+    """Physical links of the shortest-path multicast tree from the source
+    to all receivers — the union of the routed paths (shared prefixes
+    merge, which is exactly what makes it a tree)."""
+    links: Set[int] = set()
+    for host in receiver_hosts:
+        if host != source_host:
+            links.update(topology.path_links(source_host, host))
+    return links
+
+
+def ip_multicast_session(
+    topology: TransitStubTopology,
+    source_host: int,
+    receiver_hosts: Sequence[int],
+) -> AlmSessionResult:
+    """Delivery record of an IP-multicast rekey: every receiver gets one
+    copy at its unicast shortest-path delay (routers replicate in-network,
+    so RDP is 1 and user stress is 0 for everyone)."""
+    result = AlmSessionResult(sender_host=source_host)
+    for host in receiver_hosts:
+        if host == source_host:
+            continue
+        delay = topology.one_way_delay(source_host, host)
+        result.arrival[host] = delay
+        result.upstream[host] = source_host
+        result.edges.append(AlmEdge(source_host, host, 0.0, delay))
+    return result
+
+
+def ip_multicast_link_counts(
+    topology: TransitStubTopology,
+    source_host: int,
+    receiver_hosts: Sequence[int],
+    message_size: int,
+) -> LinkStressCounter:
+    """Encryptions per physical link under IP multicast: each tree link
+    carries the full rekey message once."""
+    counter = LinkStressCounter(topology.num_links)
+    for link in ip_multicast_tree_links(topology, source_host, receiver_hosts):
+        counter.counts[link] += message_size
+    return counter

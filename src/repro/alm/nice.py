@@ -1,0 +1,423 @@
+"""The NICE application-layer multicast protocol (Banerjee et al.,
+SIGCOMM 2002), the ALM scheme the paper compares against.
+
+NICE arranges hosts in a layered hierarchy.  Every host is in layer 0;
+layer-``i`` hosts are partitioned into clusters of size ``[k, 3k-1]``
+(the paper's simulations use *"three to eight users"*, i.e. ``k = 3``);
+each cluster's leader is its graph-theoretic center (the member
+minimizing the maximum RTT to the others) and also belongs to layer
+``i+1``.  The top layer has a single cluster whose leader is the *root* —
+the topological center of the group.
+
+Joins descend from the root probing one cluster per layer and join the
+layer-0 cluster of the closest leader found (the paper simulates NICE with
+*sequential* joins, which it notes gives NICE at-least-as-good trees as
+concurrent joins).  Cluster maintenance: split when a cluster exceeds
+``3k-1`` members, merge with the nearest sibling when it falls below
+``k``, and re-elect leaders on membership changes.
+
+Data forwarding: a host that receives the message from a peer in cluster
+``C`` forwards it to its peers in every other cluster it belongs to; the
+source's copy enters the hierarchy at its local cluster leader (the paper:
+the sender unicasts to the leader of its local cluster, then the message
+traverses the tree bottom-up then top-down).  Rekey transport: the key
+server unicasts the message to the root, and the message flows top-down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from ..net.topology import Topology
+from .base import AlmEdge, AlmSessionResult
+
+#: NICE cluster parameter used by the paper: clusters of 3 to 8 users.
+PAPER_NICE_K = 3
+
+
+@dataclass
+class Cluster:
+    """One NICE cluster: a set of layer-``layer`` hosts and its leader."""
+
+    layer: int
+    members: Set[int] = field(default_factory=set)
+    leader: int = -1
+
+
+class NiceHierarchy:
+    """An incrementally maintained NICE hierarchy over a topology."""
+
+    def __init__(self, topology: Topology, k: int = PAPER_NICE_K):
+        if k < 2:
+            raise ValueError("NICE k must be at least 2")
+        self.topology = topology
+        self.k = k
+        self.max_cluster = 3 * k - 1
+        # clusters per layer; layer 0 first.  cluster_of[i][host] is the
+        # cluster at layer i containing host.
+        self.layers: List[List[Cluster]] = []
+        self.cluster_of: List[Dict[int, Cluster]] = []
+        self.hosts: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> int:
+        """The topmost leader (the host the key server unicasts to)."""
+        if not self.layers:
+            raise RuntimeError("empty hierarchy")
+        top = self.layers[-1]
+        if len(top) != 1:
+            raise RuntimeError("top layer not consolidated")
+        return top[0].leader
+
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def clusters_at(self, layer: int) -> List[Cluster]:
+        return list(self.layers[layer])
+
+    def clusters_containing(self, host: int) -> List[Cluster]:
+        """All clusters the host belongs to, bottom layer first."""
+        return [
+            m[host] for m in self.cluster_of if host in m
+        ]
+
+    # ------------------------------------------------------------------
+    def _rtt(self, a: int, b: int) -> float:
+        return self.topology.rtt(a, b)
+
+    def _center(self, members: Set[int]) -> int:
+        """Graph-theoretic center: minimizes the max RTT to the others."""
+        member_list = sorted(members)
+        if len(member_list) == 1:
+            return member_list[0]
+        best, best_radius = member_list[0], float("inf")
+        for candidate in member_list:
+            radius = max(
+                self._rtt(candidate, other)
+                for other in member_list
+                if other != candidate
+            )
+            if radius < best_radius:
+                best, best_radius = candidate, radius
+        return best
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def join(self, host: int) -> None:
+        """Sequential NICE join: descend from the root probing one cluster
+        per layer, then join the closest leader's layer-0 cluster."""
+        if host in self.hosts:
+            raise ValueError(f"host {host} already joined")
+        self.hosts.add(host)
+        if not self.layers:
+            cluster = Cluster(0, {host}, host)
+            self.layers.append([cluster])
+            self.cluster_of.append({host: cluster})
+            return
+        current = self.root
+        for layer in range(len(self.layers) - 1, 0, -1):
+            cluster = self.cluster_of[layer][current]
+            current = min(
+                cluster.members, key=lambda member: self._rtt(host, member)
+            )
+        target = self.cluster_of[0][current]
+        target.members.add(host)
+        self.cluster_of[0][host] = target
+        self._after_change(target)
+
+    def leave(self, host: int) -> None:
+        """Graceful leave: the host departs every layer; leadership and
+        cluster-size invariants are repaired."""
+        if host not in self.hosts:
+            raise KeyError(f"host {host} not in hierarchy")
+        self.hosts.remove(host)
+        for layer in range(len(self.cluster_of) - 1, -1, -1):
+            cluster = self.cluster_of[layer].get(host)
+            if cluster is None:
+                continue
+            cluster.members.discard(host)
+            del self.cluster_of[layer][host]
+            self._after_change(cluster)
+        self._collapse_top()
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def _after_change(self, cluster: Cluster) -> None:
+        if not cluster.members:
+            self._delete_cluster(cluster)
+            return
+        if len(cluster.members) > self.max_cluster:
+            self._split(cluster)
+            return
+        self._fix_leader(cluster)
+        if len(cluster.members) < self.k:
+            self._merge(cluster)
+
+    def _fix_leader(self, cluster: Cluster) -> None:
+        new = self._center(cluster.members)
+        old = cluster.leader
+        if new == old and old in cluster.members:
+            return
+        cluster.leader = new
+        layer_above = cluster.layer + 1
+        if layer_above >= len(self.layers):
+            return  # topmost cluster: its leader simply is the root
+        parent = self.cluster_of[layer_above].get(old)
+        if parent is not None:
+            # The new leader takes the old leader's slot in layer above.
+            parent.members.discard(old)
+            del self.cluster_of[layer_above][old]
+            if new not in self.cluster_of[layer_above]:
+                parent.members.add(new)
+                self.cluster_of[layer_above][new] = parent
+            self._after_change(parent)
+        elif new not in self.cluster_of[layer_above]:
+            self._insert_into_layer(layer_above, new)
+
+    def _insert_into_layer(self, layer: int, host: int) -> None:
+        """Place a freshly promoted leader into a layer (the old leader's
+        slot there is already gone)."""
+        if layer >= len(self.layers):
+            cluster = Cluster(layer, {host}, host)
+            self.layers.append([cluster])
+            self.cluster_of.append({host: cluster})
+            return
+        candidates = self.layers[layer]
+        if not candidates:
+            cluster = Cluster(layer, {host}, host)
+            candidates.append(cluster)
+            self.cluster_of[layer][host] = cluster
+            return
+        target = min(
+            candidates, key=lambda c: self._rtt(host, c.leader)
+        )
+        target.members.add(host)
+        self.cluster_of[layer][host] = target
+        self._after_change(target)
+
+    def _delete_cluster(self, cluster: Cluster) -> None:
+        layer = cluster.layer
+        if cluster in self.layers[layer]:
+            self.layers[layer].remove(cluster)
+        layer_above = layer + 1
+        old = cluster.leader
+        if layer_above < len(self.layers):
+            parent = self.cluster_of[layer_above].get(old)
+            if parent is not None and old not in self.cluster_of[layer].keys():
+                parent.members.discard(old)
+                self.cluster_of[layer_above].pop(old, None)
+                self._after_change(parent)
+        self._collapse_top()
+
+    def _collapse_top(self) -> None:
+        """Drop empty top layers and layers whose single cluster has a
+        single member (the hierarchy shrank)."""
+        while self.layers and not self.layers[-1]:
+            self.layers.pop()
+            self.cluster_of.pop()
+        while (
+            len(self.layers) > 1
+            and len(self.layers[-1]) == 1
+            and len(self.layers[-1][0].members) == 1
+            and len(self.layers[-2]) == 1
+        ):
+            # A singleton top cluster over a single cluster below it is
+            # redundant: the lower cluster's leader is the root already.
+            only = next(iter(self.layers[-1][0].members))
+            self.layers.pop()
+            self.cluster_of.pop()
+            if self.layers[-1][0].leader != only:
+                self._fix_leader(self.layers[-1][0])
+
+    def _split(self, cluster: Cluster) -> None:
+        """Split an oversized cluster into two balanced halves seeded by
+        the farthest pair of members."""
+        members = sorted(cluster.members)
+        seed_a, seed_b, worst = members[0], members[1], -1.0
+        for idx, a in enumerate(members):
+            for b in members[idx + 1 :]:
+                d = self._rtt(a, b)
+                if d > worst:
+                    seed_a, seed_b, worst = a, b, d
+        half = len(members) // 2
+        ranked = sorted(
+            (m for m in members),
+            key=lambda m: self._rtt(m, seed_a) - self._rtt(m, seed_b),
+        )
+        part_a, part_b = set(ranked[:half]), set(ranked[half:])
+
+        layer = cluster.layer
+        old = cluster.leader
+        self.layers[layer].remove(cluster)
+        new_a = Cluster(layer, part_a, self._center(part_a))
+        new_b = Cluster(layer, part_b, self._center(part_b))
+        self.layers[layer].extend([new_a, new_b])
+        for member in part_a:
+            self.cluster_of[layer][member] = new_a
+        for member in part_b:
+            self.cluster_of[layer][member] = new_b
+
+        layer_above = layer + 1
+        if layer_above >= len(self.layers):
+            top = Cluster(layer_above, {new_a.leader, new_b.leader})
+            top.leader = self._center(top.members)
+            self.layers.append([top])
+            self.cluster_of.append(
+                {new_a.leader: top, new_b.leader: top}
+            )
+            return
+        parent = self.cluster_of[layer_above].get(old)
+        if parent is None:
+            for leader in (new_a.leader, new_b.leader):
+                if leader not in self.cluster_of[layer_above]:
+                    self._insert_into_layer(layer_above, leader)
+            return
+        parent.members.discard(old)
+        self.cluster_of[layer_above].pop(old, None)
+        for leader in (new_a.leader, new_b.leader):
+            if leader not in self.cluster_of[layer_above]:
+                parent.members.add(leader)
+                self.cluster_of[layer_above][leader] = parent
+        self._after_change(parent)
+
+    def _merge(self, cluster: Cluster) -> None:
+        """Merge an undersized cluster into the sibling with the nearest
+        leader (siblings: clusters of the same layer)."""
+        layer = cluster.layer
+        siblings = [c for c in self.layers[layer] if c is not cluster]
+        if not siblings:
+            return  # the only cluster of its layer may stay small
+        target = min(
+            siblings, key=lambda c: self._rtt(cluster.leader, c.leader)
+        )
+        old = cluster.leader
+        self.layers[layer].remove(cluster)
+        for member in cluster.members:
+            target.members.add(member)
+            self.cluster_of[layer][member] = target
+        layer_above = layer + 1
+        if layer_above < len(self.layers):
+            parent = self.cluster_of[layer_above].get(old)
+            if parent is not None:
+                parent.members.discard(old)
+                del self.cluster_of[layer_above][old]
+                self._after_change(parent)
+        self._after_change(target)
+        self._collapse_top()
+
+    # ------------------------------------------------------------------
+    # Invariants (used by the test suite)
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> List[str]:
+        problems: List[str] = []
+        if not self.layers:
+            return problems
+        layer0 = set()
+        for cluster in self.layers[0]:
+            layer0 |= cluster.members
+        if layer0 != self.hosts:
+            problems.append("layer 0 does not contain every host exactly once")
+        for i, layer in enumerate(self.layers):
+            seen: Set[int] = set()
+            for cluster in layer:
+                if cluster.leader not in cluster.members:
+                    problems.append(f"layer {i}: leader outside cluster")
+                if cluster.members & seen:
+                    problems.append(f"layer {i}: overlapping clusters")
+                seen |= cluster.members
+                if i + 1 < len(self.layers):
+                    if cluster.leader not in self.cluster_of[i + 1]:
+                        problems.append(
+                            f"layer {i}: leader {cluster.leader} missing "
+                            f"from layer {i + 1}"
+                        )
+            # layer i>0 members must be leaders of layer i-1 clusters
+            if i > 0:
+                lower_leaders = {c.leader for c in self.layers[i - 1]}
+                if seen - lower_leaders:
+                    problems.append(
+                        f"layer {i}: members {seen - lower_leaders} lead "
+                        f"no layer-{i-1} cluster"
+                    )
+        if len(self.layers[-1]) != 1:
+            problems.append("top layer must hold a single cluster")
+        return problems
+
+
+# ----------------------------------------------------------------------
+# Delivery
+# ----------------------------------------------------------------------
+def nice_multicast(
+    hierarchy: NiceHierarchy,
+    topology: Topology,
+    source_host: Optional[int] = None,
+    server_host: Optional[int] = None,
+    processing_delay: float = 0.0,
+) -> AlmSessionResult:
+    """Simulate one NICE multicast session.
+
+    For rekey transport pass ``server_host``: the key server unicasts the
+    message to the NICE root, and delivery proceeds top-down.  For data
+    transport the source unicasts to its local (layer-0) cluster leader
+    and the message traverses the tree bottom-up then top-down.
+
+    The forwarding rule: a host that got the message from a peer of
+    cluster ``C`` forwards it to its peers in every other cluster it
+    belongs to.
+    """
+    if (source_host is None) == (server_host is None):
+        raise ValueError("pass exactly one of source_host / server_host")
+    origin = server_host if server_host is not None else source_host
+    result = AlmSessionResult(sender_host=origin)
+    counter = itertools.count()
+    queue: List[Tuple[float, int, int, int, Optional[Cluster]]] = []
+
+    def push(src: int, dst: int, now: float, via: Optional[Cluster]) -> None:
+        arrival = now + processing_delay + topology.one_way_delay(src, dst)
+        result.edges.append(AlmEdge(src, dst, now, arrival))
+        heapq.heappush(queue, (arrival, next(counter), src, dst, via))
+
+    def forward(host: int, now: float, received_via: Optional[Cluster]) -> None:
+        for cluster in hierarchy.clusters_containing(host):
+            if cluster is received_via:
+                continue
+            for peer in cluster.members:
+                if peer != host:
+                    push(host, peer, now, cluster)
+
+    if server_host is not None:
+        # Rekey: server --unicast--> root, then top-down.
+        push(server_host, hierarchy.root, 0.0, None)
+    else:
+        # Data: source --unicast--> its local cluster leader.
+        local = hierarchy.cluster_of[0][source_host]
+        if local.leader == source_host:
+            forward(source_host, 0.0, None)
+        else:
+            push(source_host, local.leader, 0.0, None)
+
+    delivered: Set[int] = set()
+    while queue:
+        arrival, _, src, host, via = heapq.heappop(queue)
+        if host == origin or (source_host is not None and host == source_host):
+            # A copy bounced back to the origin (the source's cluster
+            # leader forwards into the source's own cluster); drop it.
+            continue
+        if host in delivered:
+            result.duplicate_copies[host] = (
+                result.duplicate_copies.get(host, 0) + 1
+            )
+            continue
+        delivered.add(host)
+        result.arrival[host] = arrival
+        result.upstream[host] = src
+        forward(host, arrival, via)
+    return result

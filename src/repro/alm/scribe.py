@@ -1,0 +1,149 @@
+"""Scribe-style per-group multicast over the hypercube tables.
+
+Scribe (and Bayeux) build one ALM tree per multicast group on top of a
+Pastry/Tapestry-style prefix-routing substrate: members route a JOIN
+toward the group's ID, and the union of routes — every member's parent
+is its next prefix hop — forms a tree rooted at the group ID's
+rendezvous member.  Section 5 discusses these systems; Section 2.6
+argues that such lookup-oriented trees are a poor fit for rekey
+splitting because tree positions ignore the key tree's structure.  This
+module implements the scheme over our own neighbor tables so the
+argument can be measured (see ``benchmarks/test_ablation_scribe.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..core.hypercube import route_toward
+from ..core.ids import Id
+from ..core.neighbor_table import NeighborTable, UserRecord
+from ..net.topology import Topology
+from .base import AlmEdge, AlmSessionResult
+
+
+@dataclass
+class ScribeGroup:
+    """A per-group tree: every member's parent is its first prefix hop
+    toward the group ID; the rendezvous member is the root."""
+
+    group_id: Id
+    root: Id
+    parent: Dict[Id, Optional[Id]]
+    children: Dict[Id, List[Id]]
+    host_of: Dict[Id, int]
+
+    def depth_of(self, member: Id) -> int:
+        depth = 0
+        node = member
+        while self.parent[node] is not None:
+            node = self.parent[node]
+            depth += 1
+        return depth
+
+
+def build_scribe_group(
+    group_id: Id,
+    tables: Dict[Id, NeighborTable],
+) -> ScribeGroup:
+    """Build the group tree from every member's prefix route.
+
+    Consistent tables make all routes converge on one rendezvous, so the
+    parent pointers form a single tree (verified by the test suite).
+    """
+    parent: Dict[Id, Optional[Id]] = {}
+    host_of: Dict[Id, int] = {}
+    root: Optional[Id] = None
+    for member_id, table in tables.items():
+        host_of[member_id] = table.owner.host
+        route = route_toward(table.owner, group_id, tables)
+        if route.num_hops == 0:
+            parent[member_id] = None
+            root = member_id
+        else:
+            parent[member_id] = route.hops[1].user_id
+    if root is None:
+        raise ValueError("no rendezvous found (tables inconsistent?)")
+    children: Dict[Id, List[Id]] = {}
+    for member_id, up in parent.items():
+        if up is not None:
+            children.setdefault(up, []).append(member_id)
+    return ScribeGroup(group_id, root, parent, children, host_of)
+
+
+def scribe_multicast(
+    group: ScribeGroup,
+    topology: Topology,
+    source_host: Optional[int] = None,
+    server_host: Optional[int] = None,
+    processing_delay: float = 0.0,
+) -> AlmSessionResult:
+    """Multicast over the Scribe tree.
+
+    Rekey mode (``server_host``): the key server unicasts to the
+    rendezvous root; the message flows down the tree.  Data mode
+    (``source_host``): the source's copy first routes up to the root
+    (its parent chain), then floods down — Scribe's anycast-to-root
+    dissemination."""
+    if (source_host is None) == (server_host is None):
+        raise ValueError("pass exactly one of source_host / server_host")
+    origin = server_host if server_host is not None else source_host
+    result = AlmSessionResult(sender_host=origin)
+    counter = itertools.count()
+    queue: List = []
+
+    def push(src_host: int, dst: Id, now: float, down: bool) -> None:
+        arrival = (
+            now
+            + processing_delay
+            + topology.one_way_delay(src_host, group.host_of[dst])
+        )
+        result.edges.append(
+            AlmEdge(src_host, group.host_of[dst], now, arrival)
+        )
+        heapq.heappush(queue, (arrival, next(counter), src_host, dst, down))
+
+    source_id: Optional[Id] = None
+    if server_host is not None:
+        push(server_host, group.root, 0.0, True)
+    else:
+        source_id = next(
+            (uid for uid, host in group.host_of.items() if host == source_host),
+            None,
+        )
+        if source_id is None:
+            raise ValueError(f"host {source_host} is not a group member")
+        up = group.parent[source_id]
+        if up is not None:
+            push(source_host, up, 0.0, False)
+        # the source also floods its own subtree directly
+        for child in group.children.get(source_id, ()):
+            push(source_host, child, 0.0, True)
+
+    delivered: Set[Id] = set()
+    while queue:
+        arrival, _, src_host, member, down = heapq.heappop(queue)
+        if member == source_id:
+            continue
+        if member in delivered:
+            result.duplicate_copies[group.host_of[member]] = (
+                result.duplicate_copies.get(group.host_of[member], 0) + 1
+            )
+            continue
+        delivered.add(member)
+        host = group.host_of[member]
+        result.arrival[host] = arrival
+        result.upstream[host] = src_host
+        if not down:
+            # still travelling up: continue toward the root and flood
+            # the branches we pass (excluding where we came from)
+            up = group.parent[member]
+            if up is not None:
+                push(host, up, arrival, False)
+        for child in group.children.get(member, ()):
+            if group.host_of[child] != src_host:
+                push(host, child, arrival, True)
+    return result

@@ -1,0 +1,74 @@
+"""The paper's core contribution: IDs and the ID tree, neighbor tables,
+the T-mesh multicast scheme, topology-aware ID assignment, rekey message
+splitting, and group membership."""
+
+from .ids import Id, IdScheme, NULL_ID, PAPER_SCHEME
+from .id_tree import IdTree
+from .neighbor_table import (
+    NeighborTable,
+    UserRecord,
+    build_consistent_tables,
+    build_server_table,
+    check_k_consistency,
+)
+from .id_assignment import (
+    AssignmentOutcome,
+    IdAssigner,
+    PAPER_COLLECT_TARGET,
+    PAPER_PERCENTILE,
+    PAPER_THRESHOLDS,
+    complete_user_id,
+)
+from .hypercube import Route, rendezvous_member, route_toward
+from .membership import Group, JoinResult, PAPER_K
+from .tmesh import (
+    OverlayEdge,
+    Receipt,
+    SessionResult,
+    data_session,
+    rekey_session,
+    run_multicast,
+)
+from .splitting import (
+    SplitSessionResult,
+    next_hop_needs,
+    run_split_rekey,
+    run_unsplit_rekey,
+    split_for_next_hop,
+)
+
+__all__ = [
+    "Id",
+    "IdScheme",
+    "NULL_ID",
+    "PAPER_SCHEME",
+    "IdTree",
+    "NeighborTable",
+    "UserRecord",
+    "build_consistent_tables",
+    "build_server_table",
+    "check_k_consistency",
+    "AssignmentOutcome",
+    "IdAssigner",
+    "PAPER_COLLECT_TARGET",
+    "PAPER_PERCENTILE",
+    "PAPER_THRESHOLDS",
+    "complete_user_id",
+    "Group",
+    "JoinResult",
+    "PAPER_K",
+    "Route",
+    "rendezvous_member",
+    "route_toward",
+    "OverlayEdge",
+    "Receipt",
+    "SessionResult",
+    "data_session",
+    "rekey_session",
+    "run_multicast",
+    "SplitSessionResult",
+    "next_hop_needs",
+    "run_split_rekey",
+    "run_unsplit_rekey",
+    "split_for_next_hop",
+]

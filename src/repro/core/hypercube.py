@@ -1,0 +1,117 @@
+"""Hypercube (PRR/Pastry-style) unicast routing over neighbor tables.
+
+The neighbor tables exist to embed multicast trees, but — as the paper
+notes by lineage (Section 2.2 cites PRR/Pastry/Tapestry/Silk) — they
+support classic prefix routing too: to reach ID ``d`` from member ``m``,
+forward to a neighbor sharing one more leading digit with ``d``; with
+K-consistent tables the route reaches an existing destination in at most
+``D`` overlay hops.
+
+Routing *toward* an ID that no user owns terminates at a deterministic
+*rendezvous* member (digit-wise closest occupant of the ID space).  All
+members converge on the same rendezvous because the fallback digit
+choice depends only on which ID subtrees are populated — global
+information every K-consistent table agrees on.  This is what a
+Scribe-style per-group tree (:mod:`repro.alm.scribe`) is built around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from .ids import Id, IdScheme
+from .neighbor_table import NeighborTable, UserRecord
+
+
+@dataclass(frozen=True)
+class Route:
+    """A prefix route: the member records visited, source first."""
+
+    hops: List[UserRecord]
+    destination: Id
+
+    @property
+    def terminal(self) -> UserRecord:
+        return self.hops[-1]
+
+    @property
+    def num_hops(self) -> int:
+        return len(self.hops) - 1
+
+    def total_delay(self, topology) -> float:
+        return sum(
+            topology.one_way_delay(a.host, b.host)
+            for a, b in zip(self.hops, self.hops[1:])
+        )
+
+
+def _cyclic_distance(a: int, b: int, base: int) -> int:
+    diff = abs(a - b)
+    return min(diff, base - diff)
+
+
+def _choose_digit(
+    table: NeighborTable, level: int, wanted: int, own_digit: int
+) -> Optional[int]:
+    """The digit to descend into at ``level``: the wanted digit if its
+    subtree is populated (or it is our own), else the populated digit
+    cyclically closest to it (ties toward the smaller digit)."""
+    base = table.scheme.base
+    populated = {j for j, _ in table.row_primaries(level)}
+    populated.add(own_digit)  # our own subtree is populated by us
+    if wanted in populated:
+        return wanted
+    if not populated:
+        return None
+    return min(
+        populated,
+        key=lambda j: (_cyclic_distance(j, wanted, base), j),
+    )
+
+
+def route_toward(
+    start: UserRecord,
+    destination: Id,
+    tables: Dict[Id, NeighborTable],
+) -> Route:
+    """Prefix-route from ``start`` toward ``destination``.
+
+    Returns the route; its terminal is the destination's owner when the
+    destination is a live user ID, or the deterministic rendezvous
+    member otherwise.
+    """
+    scheme = tables[start.user_id].scheme
+    scheme.validate_user_id(destination)
+    current = start
+    hops = [current]
+    level = current.user_id.common_prefix_len(destination)
+    # `effective` tracks the digit choices made so far, so the notion of
+    # "shares one more digit" keeps meaning after a fallback.
+    effective = list(destination.digits)
+    while level < scheme.num_digits:
+        table = tables[current.user_id]
+        digit = _choose_digit(
+            table, level, effective[level], current.user_id[level]
+        )
+        if digit is None:
+            break  # no populated subtree at all: current is terminal
+        effective[level] = digit
+        if digit == current.user_id[level]:
+            level += 1  # we already match: descend without a hop
+            continue
+        next_hop = table.primary(level, digit)
+        if next_hop is None:  # can't happen with consistent tables
+            break
+        current = next_hop
+        hops.append(current)
+        level = current.user_id.common_prefix_len(Id(effective))
+    return Route(hops, destination)
+
+
+def rendezvous_member(
+    destination: Id, tables: Dict[Id, NeighborTable]
+) -> Id:
+    """The member every route toward ``destination`` terminates at."""
+    some_member = next(iter(tables.values())).owner
+    return route_toward(some_member, destination, tables).terminal.user_id

@@ -1,0 +1,276 @@
+"""Neighbor tables and K-consistency (Section 2.2, Definition 3).
+
+A user's neighbor table has ``D`` rows of ``B`` entries.  The ``(i,j)``-
+entry contains user records of up to ``K`` users belonging to the owner's
+``(i,j)``-ID subtree, arranged in increasing order of their RTT to the
+owner; the first is the *primary* neighbor.  The entry with ``j`` equal to
+the owner's own ``i``-th digit is always empty.
+
+The key server maintains a one-row table: its ``(0,j)``-entry holds the
+``K`` users with the smallest RTT to the server among those whose 0th
+digit is ``j``.
+
+Tables are *K-consistent* (Definition 3) when every entry holds
+``min(K, m)`` neighbors, ``m`` being the current population of the
+corresponding ID subtree.  1-consistency is what Theorem 1's exactly-once
+multicast delivery relies on; ``K > 1`` buys failure resilience.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .id_tree import IdTree
+from .ids import Id, IdScheme
+
+
+@dataclass(frozen=True)
+class UserRecord:
+    """What one member knows about another: the paper's *user record*
+    (IP address — here a topology host index — plus ID and metadata).
+
+    ``access_rtt`` is the RTT between the user and its gateway router,
+    carried in each record copy so that others can compute gateway-to-
+    gateway RTTs (Section 3.1.2).  ``join_time`` is the key-server clock
+    value used for leader election in the cluster heuristic (Appendix B).
+    """
+
+    user_id: Id
+    host: int
+    access_rtt: float = 0.0
+    join_time: float = 0.0
+
+
+@dataclass
+class _Entry:
+    """One (i,j)-entry: neighbors with their measured RTTs, sorted by
+    increasing RTT."""
+
+    neighbors: List[Tuple[float, UserRecord]] = field(default_factory=list)
+
+    def records(self) -> List[UserRecord]:
+        return [record for _, record in self.neighbors]
+
+    def primary(self) -> Optional[UserRecord]:
+        return self.neighbors[0][1] if self.neighbors else None
+
+
+class NeighborTable:
+    """A user's (or the key server's) neighbor table.
+
+    The key server's table is modelled as a table whose owner ID is the
+    null string: only row 0 is populated and no entry is skipped as "own
+    digit" (the server has no digits).
+    """
+
+    def __init__(self, scheme: IdScheme, owner: UserRecord, k: int):
+        if k < 1:
+            raise ValueError("K must be at least 1")
+        self.scheme = scheme
+        self.owner = owner
+        self.k = k
+        self._entries: Dict[Tuple[int, int], _Entry] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def is_server_table(self) -> bool:
+        return self.owner.user_id.is_null
+
+    @property
+    def num_rows(self) -> int:
+        return 1 if self.is_server_table else self.scheme.num_digits
+
+    def _check_slot(self, i: int, j: int) -> None:
+        if not 0 <= i < self.num_rows:
+            raise IndexError(f"row {i} outside [0, {self.num_rows})")
+        if not 0 <= j < self.scheme.base:
+            raise IndexError(f"column {j} outside [0, B)")
+
+    def entry(self, i: int, j: int) -> List[UserRecord]:
+        """Records in the (i,j)-entry, closest first."""
+        self._check_slot(i, j)
+        e = self._entries.get((i, j))
+        return e.records() if e else []
+
+    def primary(self, i: int, j: int) -> Optional[UserRecord]:
+        """The (i,j)-primary neighbor: first record of the entry."""
+        self._check_slot(i, j)
+        e = self._entries.get((i, j))
+        return e.primary() if e else None
+
+    def entry_rtts(self, i: int, j: int) -> List[float]:
+        self._check_slot(i, j)
+        e = self._entries.get((i, j))
+        return [rtt for rtt, _ in e.neighbors] if e else []
+
+    def row_primaries(self, i: int) -> List[Tuple[int, UserRecord]]:
+        """``(j, primary neighbor)`` for every non-empty entry of row
+        ``i``, in digit order.  This is what FORWARD iterates over —
+        scanning only populated entries rather than all ``B`` columns."""
+        pairs = [
+            (j, e.neighbors[0][1])
+            for (row, j), e in self._entries.items()
+            if row == i and e.neighbors
+        ]
+        pairs.sort(key=lambda p: p[0])
+        return pairs
+
+    def slot_for(self, record: UserRecord) -> Optional[Tuple[int, int]]:
+        """The unique (i,j)-entry where a record belongs in this table, or
+        ``None`` when it belongs nowhere (duplicate/own ID).
+
+        A record for user ``w`` belongs to the entry ``(i, w.ID[i])`` where
+        ``i`` is the length of the longest common prefix of the owner's and
+        ``w``'s IDs — exactly the condition of Definition 3.
+        """
+        if self.is_server_table:
+            return (0, record.user_id[0])
+        i = self.owner.user_id.common_prefix_len(record.user_id)
+        if i >= self.scheme.num_digits:
+            return None  # the owner itself (or a duplicate ID)
+        return (i, record.user_id[i])
+
+    def contains(self, user_id: Id) -> bool:
+        return any(r.user_id == user_id for r in self.all_records())
+
+    def all_records(self) -> Iterator[UserRecord]:
+        for e in self._entries.values():
+            for _, record in e.neighbors:
+                yield record
+
+    def num_neighbors(self) -> int:
+        return sum(len(e.neighbors) for e in self._entries.values())
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, record: UserRecord, rtt: float) -> bool:
+        """Offer a record to the table; it is kept iff its entry has room
+        or the record beats the entry's worst RTT.  Returns True iff the
+        table changed."""
+        slot = self.slot_for(record)
+        if slot is None:
+            return False
+        e = self._entries.setdefault(slot, _Entry())
+        if any(r.user_id == record.user_id for _, r in e.neighbors):
+            return False
+        e.neighbors.append((rtt, record))
+        e.neighbors.sort(key=lambda pair: pair[0])
+        if len(e.neighbors) > self.k:
+            dropped = e.neighbors.pop()
+            return dropped[1].user_id != record.user_id
+        return True
+
+    def remove(self, user_id: Id) -> bool:
+        """Delete a user's record wherever it appears (leave / failure).
+        Returns True iff something was removed."""
+        removed = False
+        for slot, e in list(self._entries.items()):
+            kept = [(rtt, r) for rtt, r in e.neighbors if r.user_id != user_id]
+            if len(kept) != len(e.neighbors):
+                removed = True
+                if kept:
+                    e.neighbors = kept
+                else:
+                    del self._entries[slot]
+        return removed
+
+    def underfilled_slots(self, subtree_sizes: Callable[[int, int], int]) -> List[Tuple[int, int]]:
+        """Entries holding fewer than ``min(K, m)`` neighbors, given a
+        callable returning the population ``m`` of each (i,j)-ID subtree.
+        Used by the leave/failure repair path to know what to re-fill."""
+        slots: List[Tuple[int, int]] = []
+        own = self.owner.user_id
+        for i in range(self.num_rows):
+            for j in range(self.scheme.base):
+                if not self.is_server_table and j == own[i]:
+                    continue
+                m = subtree_sizes(i, j)
+                have = len(self._entries.get((i, j), _Entry()).neighbors)
+                if have < min(self.k, m):
+                    slots.append((i, j))
+        return slots
+
+
+# ----------------------------------------------------------------------
+# Consistency checking and oracle construction
+# ----------------------------------------------------------------------
+def check_k_consistency(
+    tables: Dict[Id, NeighborTable],
+    id_tree: IdTree,
+    k: int,
+) -> List[str]:
+    """Verify Definition 3 over a set of user tables; returns violations
+    (empty list when the tables are K-consistent)."""
+    problems: List[str] = []
+    scheme = id_tree.scheme
+    for owner_id, table in tables.items():
+        for i in range(scheme.num_digits):
+            for j in range(scheme.base):
+                records = table.entry(i, j)
+                if j == owner_id[i]:
+                    if records:
+                        problems.append(
+                            f"{owner_id}: ({i},{j})-entry must be empty"
+                        )
+                    continue
+                m = id_tree.subtree_size(id_tree.ij_subtree_root(owner_id, i, j))
+                want = min(k, m)
+                if len(records) != want:
+                    problems.append(
+                        f"{owner_id}: ({i},{j})-entry has {len(records)} "
+                        f"neighbors, wants min(K={k}, m={m}) = {want}"
+                    )
+                subtree_root = id_tree.ij_subtree_root(owner_id, i, j)
+                for record in records:
+                    if not subtree_root.is_prefix_of(record.user_id):
+                        problems.append(
+                            f"{owner_id}: ({i},{j})-entry holds {record.user_id} "
+                            f"outside subtree {subtree_root}"
+                        )
+    return problems
+
+
+def build_consistent_tables(
+    scheme: IdScheme,
+    records: Iterable[UserRecord],
+    rtt: Callable[[int, int], float],
+    k: int,
+) -> Dict[Id, NeighborTable]:
+    """Oracle construction of K-consistent tables for a static group.
+
+    For every user and every (i,j)-entry, picks the ``min(K, m)`` users of
+    the corresponding ID subtree with the smallest RTTs — the state the
+    (Silk-based) join protocol provably converges to.  The paper uses a
+    simplified Silk join in its simulator; we additionally maintain tables
+    incrementally in :mod:`repro.core.membership`, and the test suite
+    checks both against this oracle's consistency.
+    """
+    record_list = list(records)
+    tables: Dict[Id, NeighborTable] = {}
+    for owner in record_list:
+        table = NeighborTable(scheme, owner, k)
+        for other in record_list:
+            if other.user_id == owner.user_id:
+                continue
+            table.insert(other, rtt(owner.host, other.host))
+        tables[owner.user_id] = table
+    return tables
+
+
+def build_server_table(
+    scheme: IdScheme,
+    server_host: int,
+    records: Iterable[UserRecord],
+    rtt: Callable[[int, int], float],
+    k: int,
+) -> NeighborTable:
+    """The key server's one-row table: per 0th digit ``j``, the ``K`` users
+    closest to the server (Section 2.2)."""
+    from .ids import NULL_ID
+
+    table = NeighborTable(scheme, UserRecord(NULL_ID, server_host), k)
+    for record in records:
+        table.insert(record, rtt(server_host, record.host))
+    return table

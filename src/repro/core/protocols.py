@@ -1,0 +1,61 @@
+"""The seven rekey transport protocols of Table 2.
+
+==== ============ ============= ================ ==============
+name key tree     multicast     cluster rekeying rekey splitting
+==== ============ ============= ================ ==============
+P0'  original     NICE          n/a              no
+P1'  original     NICE          n/a              yes
+P1   modified     T-mesh        no               no
+P2   modified     T-mesh        no               yes
+P3   modified     T-mesh        yes              no
+P4   modified     T-mesh        yes              yes
+P0   original     IP multicast  n/a              no
+==== ============ ============= ================ ==============
+
+The Fig. 13 experiment (:mod:`repro.experiments.bandwidth`) evaluates all
+seven on the same workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RekeyProtocol:
+    """One row of Table 2."""
+
+    name: str
+    key_tree: str          # "original" | "modified"
+    multicast: str         # "nice" | "tmesh" | "ip"
+    cluster_rekeying: Optional[bool]  # None where not applicable
+    splitting: bool
+
+    def __post_init__(self) -> None:
+        if self.key_tree not in ("original", "modified"):
+            raise ValueError(f"unknown key tree {self.key_tree!r}")
+        if self.multicast not in ("nice", "tmesh", "ip"):
+            raise ValueError(f"unknown multicast scheme {self.multicast!r}")
+        if self.multicast == "tmesh" and self.cluster_rekeying is None:
+            raise ValueError("T-mesh protocols must pick cluster rekeying")
+        if self.multicast != "tmesh" and self.cluster_rekeying is not None:
+            raise ValueError("cluster rekeying only applies to T-mesh")
+
+
+PROTOCOLS: Dict[str, RekeyProtocol] = {
+    "P0'": RekeyProtocol("P0'", "original", "nice", None, False),
+    "P1'": RekeyProtocol("P1'", "original", "nice", None, True),
+    "P1": RekeyProtocol("P1", "modified", "tmesh", False, False),
+    "P2": RekeyProtocol("P2", "modified", "tmesh", False, True),
+    "P3": RekeyProtocol("P3", "modified", "tmesh", True, False),
+    "P4": RekeyProtocol("P4", "modified", "tmesh", True, True),
+    "P0": RekeyProtocol("P0", "original", "ip", None, False),
+}
+
+#: The unsplit/split comparison pairs called out in Section 4.3.
+SPLITTING_PAIRS: Tuple[Tuple[str, str], ...] = (
+    ("P0'", "P1'"),
+    ("P1", "P2"),
+    ("P3", "P4"),
+)

@@ -1,0 +1,234 @@
+"""T-mesh: the paper's multicast scheme (Section 2.3, Fig. 2).
+
+A multicast session has a sender (the key server for rekey transport, a
+user for data transport), a message, and every other member as receiver.
+The message carries a ``forward_level`` field.  The sender is at
+forwarding level 0; a user is at level ``i`` when it receives the message
+with ``forward_level == i``.
+
+``FORWARD`` (Fig. 2): the key server sends a copy with level 1 to each
+``(0,j)``-primary neighbor; a user at level ``level`` sends, for each row
+``i`` from ``level`` to ``D-1``, a copy with level ``i+1`` to each
+``(i,j)``-primary neighbor.
+
+Theorem 1: with 1-consistent tables and no losses, every member other than
+the sender receives exactly one copy.  The session runner below records
+enough to let the test suite check that theorem, Lemmas 1/2, and every
+latency metric of Section 4.1 (user stress, application-layer delay, RDP).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.topology import Topology
+from .ids import Id, NULL_ID
+from .neighbor_table import NeighborTable, UserRecord
+
+
+@dataclass(frozen=True)
+class OverlayEdge:
+    """One overlay hop of a multicast session.
+
+    ``send_level`` is the row index ``s`` the sender used when it looked up
+    the next hop: the next hop is an ``(s, j)``-primary neighbor of the
+    sender and receives the message with ``forward_level = s + 1``
+    (``s = 0`` rows for the key server).  The pair (edge, ``send_level``)
+    is exactly what the splitting scheme's Theorem-2 predicate consumes.
+    """
+
+    src: Id
+    dst: Id
+    src_host: int
+    dst_host: int
+    send_level: int
+    send_time: float
+    arrival_time: float
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """First delivery of the multicast message to one member."""
+
+    member: Id
+    host: int
+    arrival_time: float  # application-layer delay from the sender (ms)
+    forward_level: int
+    upstream: Id
+
+
+@dataclass
+class SessionResult:
+    """Everything observed during one multicast session."""
+
+    sender: Id
+    sender_host: int
+    receipts: Dict[Id, Receipt] = field(default_factory=dict)
+    edges: List[OverlayEdge] = field(default_factory=list)
+    duplicate_copies: Dict[Id, int] = field(default_factory=dict)
+
+    # -- Section 4.1 metrics ------------------------------------------
+    def user_stress(self, member: Id) -> int:
+        """Number of messages the member forwards in the session."""
+        return sum(1 for e in self.edges if e.src == member)
+
+    def app_delay(self, member: Id) -> float:
+        """Latency from the sender's send to the member's first copy."""
+        return self.receipts[member].arrival_time
+
+    def rdp(self, member: Id, topology: Topology) -> float:
+        """Relative delay penalty: application-layer delay over the
+        one-way unicast delay from the sender to the member."""
+        unicast = topology.one_way_delay(self.sender_host, self.receipts[member].host)
+        if unicast <= 0:
+            return 1.0
+        return self.app_delay(member) / unicast
+
+    def copies_received(self, member: Id) -> int:
+        return (1 if member in self.receipts else 0) + self.duplicate_copies.get(
+            member, 0
+        )
+
+    def out_edges(self, member: Id) -> List[OverlayEdge]:
+        return [e for e in self.edges if e.src == member]
+
+    def downstream_users(self, member: Id) -> List[Id]:
+        """All members below ``member`` in the session's delivery tree."""
+        children: Dict[Id, List[Id]] = {}
+        for e in self.edges:
+            receipt = self.receipts.get(e.dst)
+            # Only tree edges (the delivering copy) define downstream-ness.
+            if receipt is not None and receipt.upstream == e.src:
+                children.setdefault(e.src, []).append(e.dst)
+        result: List[Id] = []
+        stack = list(children.get(member, ()))
+        while stack:
+            node = stack.pop()
+            result.append(node)
+            stack.extend(children.get(node, ()))
+        return result
+
+
+def run_multicast(
+    sender_table: NeighborTable,
+    tables: Dict[Id, NeighborTable],
+    topology: Topology,
+    processing_delay: float = 0.0,
+    failed_hosts: Optional[set] = None,
+    use_backups: bool = False,
+) -> SessionResult:
+    """Run one T-mesh multicast session and record its delivery tree.
+
+    ``sender_table`` is the key server's one-row table for rekey transport
+    or the sending user's table for data transport; ``tables`` maps every
+    user ID to its neighbor table.  Delivery is simulated with an event
+    queue ordered by arrival time; each hop costs the topology's one-way
+    delay plus ``processing_delay`` per forward.
+
+    ``failed_hosts`` models crashed members whose records may still be in
+    tables: a copy sent to a failed host is lost (and so is its whole
+    subtree).  With ``use_backups=True``, forwarders apply the paper's
+    K > 1 recovery (Section 2.3): on detecting a failed next hop they
+    forward to the next neighbor in the same table entry instead.
+    """
+    sender = sender_table.owner
+    result = SessionResult(sender=sender.user_id, sender_host=sender.host)
+    counter = itertools.count()  # tie-breaker for the heap
+    queue: List[Tuple[float, int, UserRecord, int, Id]] = []
+    failed = failed_hosts if failed_hosts is not None else set()
+
+    def pick_next_hop(table: NeighborTable, i: int, j: int) -> Optional[UserRecord]:
+        """The (i,j)-primary, or — with backups enabled — the closest
+        live neighbor of the same entry."""
+        entry = table.entry(i, j)
+        if not entry:
+            return None
+        if not use_backups:
+            return entry[0]
+        return next((r for r in entry if r.host not in failed), None)
+
+    def forward(member: UserRecord, table: NeighborTable, level: int, now: float) -> None:
+        """The FORWARD routine of Fig. 2 for one member."""
+        num_digits = table.scheme.num_digits
+        if level >= num_digits:
+            return
+        if table.is_server_table:
+            rows = [0]
+        else:
+            rows = range(level, num_digits)
+        for i in rows:
+            for j, primary in table.row_primaries(i):
+                nbr = primary
+                if use_backups and primary.host in failed:
+                    nbr = pick_next_hop(table, i, j)
+                    if nbr is None:
+                        continue
+                arrival = (
+                    now
+                    + processing_delay
+                    + topology.one_way_delay(member.host, nbr.host)
+                )
+                result.edges.append(
+                    OverlayEdge(
+                        src=member.user_id,
+                        dst=nbr.user_id,
+                        src_host=member.host,
+                        dst_host=nbr.host,
+                        send_level=i,
+                        send_time=now,
+                        arrival_time=arrival,
+                    )
+                )
+                heapq.heappush(
+                    queue, (arrival, next(counter), nbr, i + 1, member.user_id)
+                )
+
+    forward(sender, sender_table, 0, 0.0)
+    while queue:
+        arrival, _, record, level, upstream = heapq.heappop(queue)
+        member_id = record.user_id
+        if record.host in failed:
+            continue  # the copy is lost at a crashed member
+        if member_id in result.receipts or member_id == sender.user_id:
+            result.duplicate_copies[member_id] = (
+                result.duplicate_copies.get(member_id, 0) + 1
+            )
+            continue  # Theorem 1 says this never fires with consistent tables
+        result.receipts[member_id] = Receipt(
+            member=member_id,
+            host=record.host,
+            arrival_time=arrival,
+            forward_level=level,
+            upstream=upstream,
+        )
+        table = tables.get(member_id)
+        if table is not None:
+            forward(record, table, level, arrival)
+    return result
+
+
+def rekey_session(
+    server_table: NeighborTable,
+    tables: Dict[Id, NeighborTable],
+    topology: Topology,
+    processing_delay: float = 0.0,
+) -> SessionResult:
+    """A rekey-transport session: the key server is the sender."""
+    if not server_table.is_server_table:
+        raise ValueError("rekey transport must be sourced at the key server")
+    return run_multicast(server_table, tables, topology, processing_delay)
+
+
+def data_session(
+    sender_id: Id,
+    tables: Dict[Id, NeighborTable],
+    topology: Topology,
+    processing_delay: float = 0.0,
+) -> SessionResult:
+    """A data-transport session: a particular user is the sender."""
+    if sender_id == NULL_ID or sender_id not in tables:
+        raise ValueError(f"sender {sender_id} is not a user in the group")
+    return run_multicast(tables[sender_id], tables, topology, processing_delay)

@@ -1,0 +1,22 @@
+"""Stdlib-only authenticated symmetric crypto used by the secure-group
+application layer and the key trees."""
+
+from .cipher import (
+    AuthenticationError,
+    auth_tag,
+    decrypt,
+    encrypt,
+    generate_key,
+    verify_tag,
+)
+from .keystore import KeyStore
+
+__all__ = [
+    "AuthenticationError",
+    "auth_tag",
+    "decrypt",
+    "encrypt",
+    "generate_key",
+    "verify_tag",
+    "KeyStore",
+]

@@ -1,0 +1,96 @@
+"""Symmetric crypto primitives (stdlib-only, but real keyed crypto).
+
+The paper treats encryption as a black box: the key server encrypts new
+keys under old keys (``{k'}_k`` — an *encryption*), users and the server
+encrypt unicast traffic under individual keys, and group data is encrypted
+under the group key.  This module provides those operations with an
+authenticated stream cipher built from SHA-256 in counter mode plus an
+HMAC-SHA256 tag (encrypt-then-MAC).  It is not meant to compete with AES —
+the point is that the reproduced system actually *enforces* key possession:
+a member without the right key cannot read a payload, which the test suite
+exercises for forward/backward secrecy of rekey batches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+import struct
+
+_TAG_LEN = 32
+_NONCE_LEN = 16
+_BLOCK = 32  # SHA-256 digest size
+
+
+class AuthenticationError(Exception):
+    """Raised when a ciphertext fails authentication (wrong key or
+    tampered payload)."""
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """SHA-256 counter-mode keystream: H(key || nonce || counter)."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(
+            hashlib.sha256(key + nonce + struct.pack(">Q", counter)).digest()
+        )
+        counter += 1
+    return bytes(out[:length])
+
+
+def _split_key(key: bytes) -> tuple:
+    """Derive independent encryption and MAC keys from one secret."""
+    enc = hashlib.sha256(b"enc" + key).digest()
+    mac = hashlib.sha256(b"mac" + key).digest()
+    return enc, mac
+
+
+def generate_key(rng=None) -> bytes:
+    """A fresh 32-byte symmetric key.
+
+    Pass a ``numpy`` Generator (or any object with ``bytes(n)``) for
+    deterministic simulation keys; defaults to ``os.urandom``.
+    """
+    if rng is None:
+        return os.urandom(_BLOCK)
+    if hasattr(rng, "bytes"):
+        return rng.bytes(_BLOCK)
+    raise TypeError(f"unsupported rng {rng!r}")
+
+
+def encrypt(key: bytes, plaintext: bytes, rng=None) -> bytes:
+    """Authenticated encryption: ``nonce || ciphertext || tag``."""
+    enc_key, mac_key = _split_key(key)
+    nonce = generate_key(rng)[:_NONCE_LEN]
+    stream = _keystream(enc_key, nonce, len(plaintext))
+    ciphertext = bytes(a ^ b for a, b in zip(plaintext, stream))
+    body = nonce + ciphertext
+    tag = hmac.new(mac_key, body, hashlib.sha256).digest()
+    return body + tag
+
+
+def decrypt(key: bytes, blob: bytes) -> bytes:
+    """Inverse of :func:`encrypt`; raises :class:`AuthenticationError` on
+    a wrong key or tampered blob."""
+    if len(blob) < _NONCE_LEN + _TAG_LEN:
+        raise AuthenticationError("ciphertext too short")
+    enc_key, mac_key = _split_key(key)
+    body, tag = blob[:-_TAG_LEN], blob[-_TAG_LEN:]
+    expected = hmac.new(mac_key, body, hashlib.sha256).digest()
+    if not hmac.compare_digest(tag, expected):
+        raise AuthenticationError("bad authentication tag")
+    nonce, ciphertext = body[:_NONCE_LEN], body[_NONCE_LEN:]
+    stream = _keystream(enc_key, nonce, len(ciphertext))
+    return bytes(a ^ b for a, b in zip(ciphertext, stream))
+
+
+def auth_tag(key: bytes, message: bytes) -> bytes:
+    """Plain HMAC tag — used for the mutual-authentication handshake that
+    stands in for the paper's SSL step."""
+    return hmac.new(_split_key(key)[1], message, hashlib.sha256).digest()
+
+
+def verify_tag(key: bytes, message: bytes, tag: bytes) -> bool:
+    return hmac.compare_digest(auth_tag(key, message), tag)

@@ -1,0 +1,17 @@
+"""Message-level implementation of the Section-3 protocols over the
+discrete event simulator: joins with real query/ping round trips, batched
+interval-end announcements, wire-level T-mesh forwarding with splitting,
+and table repair."""
+
+from . import messages
+from .harness import DistributedGroup, IntervalLog
+from .nodes import ProtocolStats, ServerNode, UserNode
+
+__all__ = [
+    "messages",
+    "DistributedGroup",
+    "IntervalLog",
+    "ProtocolStats",
+    "ServerNode",
+    "UserNode",
+]

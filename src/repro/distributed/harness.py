@@ -1,0 +1,175 @@
+"""Orchestration for the message-level protocol: schedule joins/leaves at
+simulated times, run rekey intervals, and audit the emergent state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.id_assignment import PAPER_THRESHOLDS
+from ..core.id_tree import IdTree
+from ..core.ids import Id, IdScheme, PAPER_SCHEME
+from ..net.topology import Topology
+from ..sim.engine import Simulator
+from ..sim.node import Network
+from .messages import MembershipUpdate
+from .nodes import ServerNode, UserNode
+
+
+@dataclass
+class IntervalLog:
+    """What one rekey interval announced."""
+
+    update: MembershipUpdate
+    time: float
+
+
+class DistributedGroup:
+    """A key server plus user nodes exchanging real protocol messages.
+
+    Typical use::
+
+        world = DistributedGroup(topology, server_host=n)
+        world.schedule_join(host=3, at=10.0)
+        world.schedule_leave_of_host(3, at=500.0)
+        world.end_interval(at=512.0)
+        world.run()
+        assert world.check_one_consistency() == []
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        server_host: int,
+        scheme: IdScheme = PAPER_SCHEME,
+        thresholds: Tuple[float, ...] = PAPER_THRESHOLDS,
+        k: int = 4,
+        seed: int = 0,
+    ):
+        self.scheme = scheme
+        self.thresholds = thresholds
+        self.k = k
+        self.simulator = Simulator()
+        self.network = Network(self.simulator, topology)
+        self.server = ServerNode(self.network, server_host, scheme, k=k, seed=seed)
+        self.users: Dict[int, UserNode] = {}
+        self.intervals: List[IntervalLog] = []
+
+    # ------------------------------------------------------------------
+    def schedule_join(self, host: int, at: float) -> UserNode:
+        """Create a user node and schedule its join protocol at ``at``."""
+        node = UserNode(
+            self.network,
+            host,
+            self.server.host,
+            self.scheme,
+            self.thresholds,
+            k=self.k,
+        )
+        self.users[host] = node
+        self.simulator.schedule_at(at, node.start_join)
+        return node
+
+    def schedule_leave_of_host(self, host: int, at: float) -> None:
+        self.simulator.schedule_at(at, self.users[host].start_leave)
+
+    def schedule_crash(self, host: int, at: float) -> None:
+        """Silent failure: the node detaches without any protocol; other
+        members must detect it by missed pings (Section 3.2)."""
+        self.simulator.schedule_at(at, self.users[host].detach)
+
+    def schedule_probe_round(self, at: float) -> None:
+        """Every attached user runs one liveness-probe round at ``at``."""
+
+        def fire() -> None:
+            for user in self.users.values():
+                if self.network.node_at(user.host) is user:
+                    user.probe_neighbors()
+
+        self.simulator.schedule_at(at, fire)
+
+    def end_interval(self, at: float) -> None:
+        """Schedule an interval end (batch rekey + announcement)."""
+
+        def fire() -> None:
+            update = self.server.end_interval()
+            self.intervals.append(IntervalLog(update, self.simulator.now))
+
+        self.simulator.schedule_at(at, fire)
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.simulator.run(until=until)
+
+    # ------------------------------------------------------------------
+    # Audits
+    # ------------------------------------------------------------------
+    def active_users(self) -> List[UserNode]:
+        """Users that joined and have not departed."""
+        return [
+            u
+            for u in self.users.values()
+            if u.joined and self.network.node_at(u.host) is u
+        ]
+
+    def check_one_consistency(self) -> List[str]:
+        """1-consistency of the emergent tables (what Theorem 1 needs):
+        for every active user, each (i, j)-entry is non-empty iff the
+        corresponding ID subtree has other members, every stored record
+        belongs to the right subtree, and no departed user lingers."""
+        problems: List[str] = []
+        active = self.active_users()
+        tree = IdTree(self.scheme, [u.user_id for u in active])
+        alive = {u.user_id for u in active}
+        for user in active:
+            table = user.table
+            for i in range(self.scheme.num_digits):
+                for j in range(self.scheme.base):
+                    if j == user.user_id[i]:
+                        if table.entry(i, j):
+                            problems.append(
+                                f"{user.user_id}: own-digit entry ({i},{j}) "
+                                "not empty"
+                            )
+                        continue
+                    subtree = tree.ij_subtree_root(user.user_id, i, j)
+                    population = tree.subtree_size(subtree)
+                    records = table.entry(i, j)
+                    if population and not records:
+                        problems.append(
+                            f"{user.user_id}: entry ({i},{j}) empty but "
+                            f"subtree has {population} members"
+                        )
+                    for record in records:
+                        if record.user_id not in alive:
+                            problems.append(
+                                f"{user.user_id}: stale record "
+                                f"{record.user_id} in ({i},{j})"
+                            )
+                        elif not subtree.is_prefix_of(record.user_id):
+                            problems.append(
+                                f"{user.user_id}: record {record.user_id} "
+                                f"outside subtree {subtree}"
+                            )
+        return problems
+
+    def delivery_report(self, interval: int) -> Dict[str, object]:
+        """How one interval's multicast went: who received it, copy
+        counts, and encryption loads — for Theorem-1-style assertions on
+        the wire-level protocol."""
+        copies = {
+            u.user_id: u.copies_received.count(interval)
+            for u in self.users.values()
+            if u.joined
+        }
+        return {
+            "received": {uid for uid, c in copies.items() if c >= 1},
+            "duplicates": {uid: c for uid, c in copies.items() if c > 1},
+            "encryptions": {
+                u.user_id: u.encryptions_received.get(interval, 0)
+                for u in self.users.values()
+                if u.joined
+            },
+        }

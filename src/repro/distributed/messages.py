@@ -1,0 +1,131 @@
+"""Wire messages of the distributed protocol (Section 3).
+
+Every step of the paper's protocol description exchanges one of these
+messages over the simulated network: join admission, record queries
+(Section 3.1.1), RTT pings (3.1.2), prefix notification and ID
+assignment (3.1.4), the batched membership/rekey multicast, and leaves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.ids import Id
+from ..core.neighbor_table import UserRecord
+from ..keytree.keys import Encryption
+
+
+@dataclass(frozen=True)
+class JoinRequest:
+    """User -> server: please admit me (the SSL mutual authentication of
+    Section 3.1 is modelled by the transport)."""
+
+
+@dataclass(frozen=True)
+class JoinGrant:
+    """Server -> user: admission reply.
+
+    For the group's first join it directly carries the assigned ID;
+    otherwise it carries the record of a user already in the group to
+    bootstrap the ID-determination protocol."""
+
+    assigned: Optional[UserRecord]
+    bootstrap: Optional[UserRecord]
+
+
+@dataclass(frozen=True)
+class QueryMsg:
+    """User -> user: return your neighbors whose IDs carry this prefix
+    (Section 3.1.1).  ``token`` routes the response back to the right
+    phase/purpose at the querier."""
+
+    target_prefix: Id
+    token: Tuple
+
+
+@dataclass(frozen=True)
+class QueryResponse:
+    """User -> user: the matching neighbor records."""
+
+    records: Tuple[UserRecord, ...]
+    token: Tuple
+
+
+@dataclass(frozen=True)
+class PingMsg:
+    """RTT probe (Section 3.1.2)."""
+
+    token: int
+
+
+@dataclass(frozen=True)
+class PongMsg:
+    responder_record: Optional[UserRecord]
+    token: int
+
+
+@dataclass(frozen=True)
+class FailureNotice:
+    """User -> server: a neighbor stopped answering consecutive pings
+    (Section 3.2).  The server treats a confirmed failure like a leave at
+    the next interval end, so every table drops the dead record."""
+
+    failed_user: Id
+    reporter: Id
+
+
+@dataclass(frozen=True)
+class NotifyPrefix:
+    """User -> server: the digits I determined myself (step 4)."""
+
+    determined_prefix: Id
+
+
+@dataclass(frozen=True)
+class AssignedId:
+    """Server -> user: your complete ID (and, in a full deployment, the
+    keys on your key-tree path).  ``departed`` lets the joiner purge
+    records it collected of users that left while its collection phases
+    were still running."""
+
+    record: UserRecord
+    departed: Tuple[Id, ...] = ()
+
+
+@dataclass(frozen=True)
+class LeaveRequest:
+    """User -> server: I am leaving; process me at the interval end.
+
+    As in the Silk leave protocol, the leaver supplies its neighbor
+    records so that entries it leaves empty elsewhere can be re-filled:
+    by its own table's 1-consistency, the leaver knows a member of every
+    non-empty subtree of its regions."""
+
+    user_id: Id
+    neighbor_records: Tuple[UserRecord, ...] = ()
+
+
+@dataclass(frozen=True)
+class MembershipUpdate:
+    """The interval-end batch: joined records, departed IDs, replacement
+    records contributed by the leavers, and the (split) rekey
+    encryptions.  Multicast over T-mesh; departing users keep forwarding
+    this final multicast — they cannot decrypt the new keys it carries —
+    and detach afterwards."""
+
+    interval: int
+    joins: Tuple[UserRecord, ...]
+    leaves: Tuple[Id, ...]
+    encryptions: Tuple[Encryption, ...]
+    replacements: Tuple[UserRecord, ...] = ()
+
+
+@dataclass(frozen=True)
+class MulticastMsg:
+    """A T-mesh multicast copy: payload plus the forward_level field of
+    Fig. 2 (and the sender's row ``s`` for the Theorem-2 splitting
+    predicate applied by forwarders)."""
+
+    payload: MembershipUpdate
+    forward_level: int

@@ -1,0 +1,302 @@
+"""Driver for Fig. 13: rekey bandwidth overhead under the seven protocols
+of Table 2.
+
+Workload (Section 4.3): ``N`` users join the group on the GT-ITM
+topology; then the key server processes ``churn`` joins and ``churn``
+leaves in one rekey interval and generates one rekey message (the paper
+uses N=1024 and 256+256 — deliberately heavy churn).  Measured, in
+encryptions: received per user, forwarded per user, and carried per
+network link.
+
+Protocol-specific accounting:
+
+* **P1/P2** — rekey message of the modified key tree multicast over
+  T-mesh, without/with the splitting scheme.
+* **P3/P4** — cluster-heuristic message over T-mesh without/with
+  splitting, plus each leader's pairwise-encrypted group-key unicasts to
+  its cluster members.
+* **P0'/P1'** — original-key-tree message over NICE; P1' splits using
+  per-subtree needed-sets (the O(N) downstream state of Section 2.6).
+* **P0** — original-key-tree message over an IP-multicast source tree:
+  every user receives the full message; each tree link carries it once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..alm.ipmulticast import ip_multicast_link_counts
+from ..alm.nice import NiceHierarchy, nice_multicast
+from ..core.ids import Id, IdScheme
+from ..core.membership import Group
+from ..core.splitting import run_split_rekey, run_unsplit_rekey
+from ..core.tmesh import rekey_session
+from ..keytree.cluster import ClusterRekeyingTree
+from ..keytree.modified_tree import ModifiedKeyTree
+from ..keytree.original_tree import OriginalKeyTree
+from ..metrics.bandwidth import (
+    BandwidthSample,
+    alm_split_bandwidth,
+    alm_unsplit_bandwidth,
+)
+from ..net.gtitm import TransitStubTopology
+from .common import build_group, build_nice, server_host_of
+from .config import SCHEME, current_scale
+
+PROTOCOL_ORDER = ("P0", "P0'", "P1'", "P1", "P2", "P3", "P4")
+
+
+@dataclass
+class ProtocolBandwidth:
+    """Fig.-13 measurements for one protocol."""
+
+    protocol: str
+    message_size: int
+    sample: BandwidthSample
+
+    def fraction_users_below(self, threshold: float) -> float:
+        loads = np.maximum(self.sample.received, self.sample.forwarded)
+        return float(np.mean(loads <= threshold)) if loads.size else 1.0
+
+    def max_received(self) -> float:
+        return float(self.sample.received.max()) if self.sample.received.size else 0.0
+
+    def max_forwarded(self) -> float:
+        return float(self.sample.forwarded.max()) if self.sample.forwarded.size else 0.0
+
+    def max_link(self) -> float:
+        if self.sample.link_counts is None or not self.sample.link_counts.size:
+            return 0.0
+        return float(self.sample.link_counts.max())
+
+    def fraction_loaded_links_below(self, threshold: float) -> float:
+        counts = self.sample.link_counts
+        if counts is None:
+            return 1.0
+        loaded = counts[counts > 0]
+        if not loaded.size:
+            return 1.0
+        return float(np.mean(loaded <= threshold))
+
+
+@dataclass
+class BandwidthExperiment:
+    """All seven protocols measured on one workload."""
+
+    num_users: int
+    churn: int
+    results: Dict[str, ProtocolBandwidth]
+
+    def render(self) -> str:
+        lines = [
+            f"Fig 13 — rekey bandwidth overhead "
+            f"(GT-ITM, {self.num_users} users, {self.churn}+{self.churn} churn)",
+            f"{'proto':>5s} {'msg':>6s} {'max recv':>9s} {'max fwd':>9s} "
+            f"{'%users<=10':>11s} {'max link':>9s} {'%links<=10':>11s}",
+        ]
+        for name in PROTOCOL_ORDER:
+            if name not in self.results:
+                continue
+            r = self.results[name]
+            lines.append(
+                f"{name:>5s} {r.message_size:>6d} {r.max_received():>9.0f} "
+                f"{r.max_forwarded():>9.0f} {r.fraction_users_below(10):>10.0%} "
+                f"{r.max_link():>9.0f} {r.fraction_loaded_links_below(10):>10.0%}"
+            )
+        return "\n".join(lines)
+
+
+def _sample_from_dicts(
+    received: Dict, forwarded: Dict, link_counts: Optional[np.ndarray]
+) -> BandwidthSample:
+    """Assemble per-user arrays; the key server (the null ID) is not a
+    user and is excluded from the Fig. 13 populations."""
+    from ..core.ids import NULL_ID
+
+    members = sorted(
+        m for m in (set(received) | set(forwarded)) if m != NULL_ID
+    )
+    return BandwidthSample(
+        np.asarray([received.get(m, 0.0) for m in members], dtype=float),
+        np.asarray([forwarded.get(m, 0.0) for m in members], dtype=float),
+        link_counts,
+    )
+
+
+def run_bandwidth_experiment(
+    num_users: int = 1024,
+    churn: int = 256,
+    seed: int = 0,
+    scheme: IdScheme = SCHEME,
+    topology: Optional[TransitStubTopology] = None,
+    protocols: Sequence[str] = PROTOCOL_ORDER,
+) -> BandwidthExperiment:
+    """Run Fig. 13 on one workload and return all protocol measurements."""
+    scale = current_scale()
+    if topology is None:
+        topology = TransitStubTopology(
+            num_hosts=num_users + churn + 1,
+            params=scale.gtitm_params,
+            seed=seed,
+        )
+    server = server_host_of(topology)
+    rng = np.random.default_rng(seed)
+
+    # ---- base group: N joins ------------------------------------------
+    group = build_group(topology, num_users, seed, scheme=scheme)
+    base_ids = list(group.user_ids)
+    join_order_hosts = [group.records[uid].host for uid in base_ids]
+    hierarchy = build_nice(topology, join_order_hosts, seed)
+
+    modified = ModifiedKeyTree(scheme)
+    cluster = ClusterRekeyingTree(scheme)
+    for uid in sorted(base_ids, key=lambda u: group.records[u].join_time):
+        modified.request_join(uid)
+        cluster.request_join(uid)
+    modified.process_batch()
+    cluster.process_batch()
+    original = OriginalKeyTree(degree=4)
+    original.initialize_balanced(base_ids)
+
+    # ---- churn: `churn` joins + `churn` leaves in one interval ---------
+    joiner_hosts = list(range(num_users, num_users + churn))
+    leavers = [
+        base_ids[int(i)]
+        for i in rng.choice(len(base_ids), size=min(churn, len(base_ids)), replace=False)
+    ]
+    events: List[Tuple[str, object]] = [("join", h) for h in joiner_hosts] + [
+        ("leave", uid) for uid in leavers
+    ]
+    rng.shuffle(events)
+    for kind, payload in events:
+        if kind == "join":
+            result = group.join(int(payload))
+            uid = result.record.user_id
+            hierarchy.join(int(payload))
+            modified.request_join(uid)
+            cluster.request_join(uid)
+            original.request_join(("new", uid))
+        else:
+            uid = payload
+            host = group.records[uid].host
+            group.leave(uid)
+            hierarchy.leave(host)
+            modified.request_leave(uid)
+            cluster.request_leave(uid)
+            original.request_leave(uid)
+
+    message_modified = modified.process_batch()
+    cluster_result = cluster.process_batch()
+    original_result = original.process_batch(rng)
+    original_users = original.users
+
+    results: Dict[str, ProtocolBandwidth] = {}
+    wanted = set(protocols)
+
+    # ---- T-mesh protocols ----------------------------------------------
+    if wanted & {"P1", "P2", "P3", "P4"}:
+        session = rekey_session(group.server_table, group.tables, topology)
+    if "P1" in wanted:
+        acct = run_unsplit_rekey(session, message_modified.rekey_cost)
+        results["P1"] = ProtocolBandwidth(
+            "P1",
+            message_modified.rekey_cost,
+            _sample_from_dicts(
+                acct.received, acct.forwarded, acct.link_counts(topology).counts
+            ),
+        )
+    if "P2" in wanted:
+        acct = run_split_rekey(session, message_modified)
+        results["P2"] = ProtocolBandwidth(
+            "P2",
+            message_modified.rekey_cost,
+            _sample_from_dicts(
+                acct.received, acct.forwarded, acct.link_counts(topology).counts
+            ),
+        )
+    for name, split in (("P3", False), ("P4", True)):
+        if name not in wanted:
+            continue
+        if split:
+            acct = run_split_rekey(session, cluster_result.message)
+        else:
+            acct = run_unsplit_rekey(session, cluster_result.rekey_cost)
+        received = dict(acct.received)
+        forwarded = dict(acct.forwarded)
+        counter = acct.link_counts(topology)
+        # Leaders unicast the new group key to their cluster members.
+        for unicast in cluster_result.unicasts:
+            leader_host = group.records[unicast.leader].host
+            forwarded[unicast.leader] = (
+                forwarded.get(unicast.leader, 0) + unicast.num_encryptions
+            )
+            for member in unicast.members:
+                received[member] = received.get(member, 0) + 1
+                counter.add_path(
+                    topology.path_links(leader_host, group.records[member].host), 1
+                )
+        results[name] = ProtocolBandwidth(
+            name,
+            cluster_result.rekey_cost,
+            _sample_from_dicts(received, forwarded, counter.counts),
+        )
+
+    # ---- NICE protocols --------------------------------------------------
+    if wanted & {"P0'", "P1'"}:
+        nice_session = nice_multicast(hierarchy, topology, server_host=server)
+    if "P0'" in wanted:
+        results["P0'"] = ProtocolBandwidth(
+            "P0'",
+            original_result.rekey_cost,
+            alm_unsplit_bandwidth(nice_session, original_result.rekey_cost, topology),
+        )
+    if "P1'" in wanted:
+        needed = _original_tree_needs(original, original_result, group)
+        results["P1'"] = ProtocolBandwidth(
+            "P1'",
+            original_result.rekey_cost,
+            alm_split_bandwidth(
+                nice_session, needed, original_result.rekey_cost, topology
+            ),
+        )
+
+    # ---- IP multicast -----------------------------------------------------
+    if "P0" in wanted:
+        receiver_hosts = [group.records[uid].host for uid in group.user_ids]
+        counter = ip_multicast_link_counts(
+            topology, server, receiver_hosts, original_result.rekey_cost
+        )
+        received = {h: float(original_result.rekey_cost) for h in receiver_hosts}
+        forwarded = {h: 0.0 for h in receiver_hosts}
+        results["P0"] = ProtocolBandwidth(
+            "P0",
+            original_result.rekey_cost,
+            _sample_from_dicts(received, forwarded, counter.counts),
+        )
+
+    return BandwidthExperiment(num_users=num_users, churn=churn, results=results)
+
+
+def _original_tree_needs(
+    tree: OriginalKeyTree, batch_result, group: Group
+) -> Dict[int, Set[int]]:
+    """Per-host needed-encryption indices for splitting over NICE: a user
+    needs encryption ``{x}_{c}`` iff node ``c`` is on the path from its
+    u-node to the root of the original key tree."""
+    by_node: Dict[int, List[int]] = {}
+    for index, enc in enumerate(batch_result.encryptions):
+        by_node.setdefault(enc.encrypting_node, []).append(index)
+    needed: Dict[int, Set[int]] = {}
+    for user in tree.users:
+        uid = user[1] if isinstance(user, tuple) else user
+        record = group.records.get(uid)
+        if record is None:
+            continue  # user left the group after the batch snapshot
+        indices: Set[int] = set()
+        for node in tree.path_nodes(user):
+            indices.update(by_node.get(node, ()))
+        needed[record.host] = indices
+    return needed

@@ -1,0 +1,103 @@
+"""Experiment configuration: the paper's parameters and scaling.
+
+Every simulation in the paper runs with ``D = 5``, ``B = 256``,
+``K = 4``, ``R = (150, 30, 9, 3)`` ms, ``P = 10``, ``F = 90``-percentile,
+and NICE clusters of 3–8 users.  Group sizes are 226 (PlanetLab), 256 and
+1024 (GT-ITM).
+
+Full paper sizes take minutes per experiment, so the benchmark suite runs
+a scaled-down-but-faithful configuration by default.  Set the environment
+variable ``REPRO_SCALE`` to ``paper`` / ``small`` / ``tiny`` to choose
+(default ``small``); the experiment drivers also accept explicit sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..core.ids import IdScheme, PAPER_SCHEME
+from ..net.gtitm import TransitStubParams
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Knobs that trade fidelity for runtime."""
+
+    name: str
+    planetlab_users: int      # paper: 226 (227 hosts incl. the key server)
+    gtitm_users_small: int    # paper: 256
+    gtitm_users_large: int    # paper: 1024
+    gtitm_params: TransitStubParams
+    latency_runs: int         # paper: 100 runs for Fig. 6
+    rekey_cost_runs: int      # paper: 20 runs per (J, L) point
+    rekey_cost_grid: int      # grid resolution per axis for Fig. 12
+    bandwidth_churn: int      # paper: 256 joins + 256 leaves for Fig. 13
+
+
+PAPER_GTITM = TransitStubParams()  # ~4900 routers / ~13000 links
+
+SMALL_GTITM = TransitStubParams(
+    transit_domains=4,
+    transit_per_domain=5,
+    stubs_per_transit=3,
+    stub_size=8,
+)
+
+TINY_GTITM = TransitStubParams(
+    transit_domains=3,
+    transit_per_domain=3,
+    stubs_per_transit=2,
+    stub_size=6,
+)
+
+SCALES = {
+    "paper": Scale(
+        name="paper",
+        planetlab_users=226,
+        gtitm_users_small=256,
+        gtitm_users_large=1024,
+        gtitm_params=PAPER_GTITM,
+        latency_runs=20,
+        rekey_cost_runs=20,
+        rekey_cost_grid=5,
+        bandwidth_churn=256,
+    ),
+    "small": Scale(
+        name="small",
+        planetlab_users=128,
+        gtitm_users_small=128,
+        gtitm_users_large=256,
+        gtitm_params=SMALL_GTITM,
+        latency_runs=5,
+        rekey_cost_runs=5,
+        rekey_cost_grid=4,
+        bandwidth_churn=64,
+    ),
+    "tiny": Scale(
+        name="tiny",
+        planetlab_users=48,
+        gtitm_users_small=48,
+        gtitm_users_large=96,
+        gtitm_params=TINY_GTITM,
+        latency_runs=2,
+        rekey_cost_runs=2,
+        rekey_cost_grid=3,
+        bandwidth_churn=24,
+    ),
+}
+
+
+def current_scale() -> Scale:
+    """The scale selected by ``REPRO_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_SCALE", "small")
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE={name!r}; expected one of {sorted(SCALES)}"
+        ) from None
+
+
+#: Convenience re-export of the paper's ID-space parameters.
+SCHEME: IdScheme = PAPER_SCHEME

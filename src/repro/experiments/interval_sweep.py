@@ -1,0 +1,124 @@
+"""Batch-rekeying interval sweep (extension).
+
+The system rekeys periodically: requests arriving during an interval are
+batched (Section 1, citing the batch-rekeying line of work).  This
+experiment quantifies the batching trade-off on the modified key tree:
+with Poisson join/leave arrivals at combined rate ``rate`` per second,
+longer intervals amortize shared path updates — the cost per processed
+request falls — while the interval length bounds how stale group access
+control may be.
+
+Not a paper figure; an extension flagged in DESIGN.md.  The companion
+benchmark asserts the expected shape: per-request amortized cost strictly
+decreases as the interval grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ids import Id, IdScheme
+from ..keytree.modified_tree import ModifiedKeyTree
+from ..net.topology import Topology
+from .common import CentralizedController, build_topology
+from .config import SCHEME
+
+
+@dataclass(frozen=True)
+class IntervalPoint:
+    """Average costs at one rekey-interval length."""
+
+    interval_s: float
+    mean_requests_per_interval: float
+    mean_cost_per_interval: float
+    cost_per_request: float
+
+
+@dataclass
+class IntervalSweep:
+    num_users: int
+    rate_per_s: float
+    points: List[IntervalPoint]
+
+    def render(self) -> str:
+        lines = [
+            f"Interval sweep — batching efficiency "
+            f"(N={self.num_users}, churn rate {self.rate_per_s:.2f}/s)",
+            f"{'interval':>9s} {'req/interval':>13s} {'cost/interval':>14s} "
+            f"{'cost/request':>13s}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.interval_s:>8.0f}s {p.mean_requests_per_interval:>13.1f} "
+                f"{p.mean_cost_per_interval:>14.1f} {p.cost_per_request:>13.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_interval_sweep(
+    num_users: int = 256,
+    intervals: Sequence[float] = (8.0, 32.0, 128.0, 512.0),
+    rate_per_s: float = 0.5,
+    horizon_s: float = 4096.0,
+    seed: int = 0,
+    scheme: IdScheme = SCHEME,
+    topology: Topology = None,
+) -> IntervalSweep:
+    """Simulate Poisson churn over ``horizon_s`` seconds for each interval
+    length and average the modified tree's per-batch rekey cost."""
+    if topology is None:
+        topology = build_topology("gtitm", num_users, seed)
+    points: List[IntervalPoint] = []
+    for interval_s in intervals:
+        rng = np.random.default_rng(seed)
+        controller = CentralizedController(scheme, topology, seed)
+        hosts = rng.permutation(topology.num_hosts - 1)[:num_users]
+        base_ids = [controller.join(int(h)) for h in hosts]
+        tree = ModifiedKeyTree(scheme)
+        for uid in base_ids:
+            tree.request_join(uid)
+        tree.process_batch()
+
+        present = list(base_ids)
+        costs: List[int] = []
+        request_counts: List[int] = []
+        num_batches = max(1, int(horizon_s / interval_s))
+        for _ in range(num_batches):
+            expected = rate_per_s * interval_s
+            n_requests = int(rng.poisson(expected))
+            requests = 0
+            pending_leave = set()
+            for _ in range(n_requests):
+                if present and rng.random() < 0.5:
+                    candidates = [u for u in present if u not in pending_leave]
+                    if not candidates:
+                        continue
+                    victim = candidates[int(rng.integers(0, len(candidates)))]
+                    tree.request_leave(victim)
+                    pending_leave.add(victim)
+                    present.remove(victim)
+                else:
+                    host = int(rng.integers(0, topology.num_hosts - 1))
+                    uid = controller.join(host)
+                    tree.request_join(uid)
+                    present.append(uid)
+                requests += 1
+            for victim in pending_leave:
+                controller.leave(victim)
+            costs.append(tree.process_batch().rekey_cost)
+            request_counts.append(requests)
+        total_requests = sum(request_counts)
+        points.append(
+            IntervalPoint(
+                interval_s=interval_s,
+                mean_requests_per_interval=float(np.mean(request_counts)),
+                mean_cost_per_interval=float(np.mean(costs)),
+                cost_per_request=(
+                    sum(costs) / total_requests if total_requests else 0.0
+                ),
+            )
+        )
+    return IntervalSweep(num_users, rate_per_s, points)

@@ -1,0 +1,200 @@
+"""Driver for Fig. 12: rekey cost vs number of joins and leaves.
+
+The paper's setup: 1024 users join on the GT-ITM topology; after the
+joins terminate the key server processes ``J`` joins and ``L`` leaves
+(0 <= J, L <= 1024) in one rekey interval and generates one rekey
+message.  Rekey cost = encryptions in that message, averaged over 20
+runs per (J, L) point.  Three curves:
+
+* (a) the modified key tree's average rekey cost;
+* (b) modified-tree cost minus original-tree cost (WGL degree 4, starting
+  full and balanced, ToN'03 batch processing) — positive: the modified
+  tree updates more keys because a joining u-node can only reuse a
+  departed position when the IDs share the first D-1 digits;
+* (c) cluster-heuristic cost minus original-tree cost — negative for
+  small leave fractions, since only leader churn rekeys.
+
+IDs for the base group and the J joiners come from the centralized
+controller (exactly the paper's efficiency shortcut).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.id_tree import IdTree
+from ..core.ids import Id, IdScheme
+from ..keytree.cluster import ClusterRekeyingTree
+from ..keytree.modified_tree import ModifiedKeyTree
+from ..keytree.original_tree import OriginalKeyTree
+from ..net.topology import Topology
+from .common import CentralizedController, build_topology
+from .config import SCHEME
+
+
+@dataclass
+class RekeyCostPoint:
+    """Average rekey costs at one (J, L) grid point."""
+
+    joins: int
+    leaves: int
+    modified: float
+    original: float
+    cluster: float
+
+    @property
+    def modified_minus_original(self) -> float:
+        return self.modified - self.original
+
+    @property
+    def cluster_minus_original(self) -> float:
+        return self.cluster - self.original
+
+
+@dataclass
+class RekeyCostSurface:
+    """The three Fig. 12 surfaces on a (J, L) grid."""
+
+    num_users: int
+    runs: int
+    points: List[RekeyCostPoint]
+
+    def point(self, joins: int, leaves: int) -> RekeyCostPoint:
+        for p in self.points:
+            if p.joins == joins and p.leaves == leaves:
+                return p
+        raise KeyError((joins, leaves))
+
+    def render(self) -> str:
+        lines = [
+            f"Fig 12 — rekey cost vs (J, L); N={self.num_users}, "
+            f"{self.runs} runs per point",
+            f"{'J':>6s} {'L':>6s} {'modified':>10s} {'original':>10s} "
+            f"{'cluster':>10s} {'mod-orig':>10s} {'clu-orig':>10s}",
+        ]
+        for p in self.points:
+            lines.append(
+                f"{p.joins:>6d} {p.leaves:>6d} {p.modified:>10.1f} "
+                f"{p.original:>10.1f} {p.cluster:>10.1f} "
+                f"{p.modified_minus_original:>10.1f} "
+                f"{p.cluster_minus_original:>10.1f}"
+            )
+        return "\n".join(lines)
+
+
+def _base_population(
+    controller: CentralizedController, num_users: int, rng: np.random.Generator
+) -> List[Tuple[Id, int]]:
+    """Join the base group through the controller; returns (id, host)."""
+    hosts = rng.permutation(controller.topology.num_hosts - 1)[:num_users]
+    return [(controller.join(int(h)), int(h)) for h in hosts]
+
+
+def _one_run(
+    scheme: IdScheme,
+    topology: Topology,
+    num_users: int,
+    grid: Sequence[Tuple[int, int]],
+    seed: int,
+) -> Dict[Tuple[int, int], Tuple[int, int, int]]:
+    """One simulation run: one base population, then each (J, L) point
+    processed against fresh copies of the three key trees."""
+    rng = np.random.default_rng(seed)
+    controller = CentralizedController(scheme, topology, seed)
+    base = _base_population(controller, num_users, rng)
+    base_ids = [uid for uid, _ in base]
+
+    results: Dict[Tuple[int, int], Tuple[int, int, int]] = {}
+    for joins, leaves in grid:
+        # Fresh controller state per grid point, seeded identically, so
+        # the joiner IDs are assigned against the same base tree.
+        point_rng = np.random.default_rng(seed + 7919 * (joins + 1) + leaves)
+        point_controller = CentralizedController(scheme, topology, seed + 13)
+        point_controller.id_tree = IdTree(scheme, base_ids)
+        point_controller.records = dict(controller.records)
+
+        # -- modified tree ------------------------------------------------
+        modified = ModifiedKeyTree(scheme)
+        for uid in base_ids:
+            modified.request_join(uid)
+        modified.process_batch()  # settle the base interval
+
+        # -- cluster heuristic ---------------------------------------------
+        cluster = ClusterRekeyingTree(scheme)
+        for uid in base_ids:
+            cluster.request_join(uid)
+        cluster.process_batch()
+
+        # -- original tree --------------------------------------------------
+        original = OriginalKeyTree(degree=4)
+        original.initialize_balanced(base_ids)
+
+        # Same churn for all three trees.
+        leave_ids = [
+            base_ids[int(i)]
+            for i in point_rng.choice(len(base_ids), size=leaves, replace=False)
+        ]
+        join_hosts = point_rng.integers(0, topology.num_hosts - 1, size=joins)
+        join_ids: List[Id] = []
+        taken = set(base_ids)
+        for host in join_hosts:
+            uid = point_controller.join(int(host))
+            join_ids.append(uid)
+            taken.add(uid)
+
+        for uid in join_ids:
+            modified.request_join(uid)
+            cluster.request_join(uid)
+            original.request_join(("new", uid))
+        for uid in leave_ids:
+            modified.request_leave(uid)
+            cluster.request_leave(uid)
+            original.request_leave(uid)
+
+        cost_modified = modified.process_batch().rekey_cost
+        cost_cluster = cluster.process_batch().rekey_cost
+        cost_original = original.process_batch(point_rng).rekey_cost
+        results[(joins, leaves)] = (cost_modified, cost_original, cost_cluster)
+    return results
+
+
+def default_grid(num_users: int, resolution: int) -> List[Tuple[int, int]]:
+    """A (J, L) grid covering [0, N] per axis, like the paper's surface."""
+    axis = [int(round(x)) for x in np.linspace(0, num_users, resolution)]
+    return [(j, l) for j in axis for l in axis]
+
+
+def run_rekey_cost(
+    num_users: int = 1024,
+    grid: Sequence[Tuple[int, int]] = (),
+    runs: int = 5,
+    seed: int = 0,
+    scheme: IdScheme = SCHEME,
+    topology: Topology = None,
+) -> RekeyCostSurface:
+    """Run the Fig. 12 experiment."""
+    if topology is None:
+        topology = build_topology("gtitm", max(num_users, 1), seed)
+    if not grid:
+        grid = default_grid(num_users, 4)
+    totals: Dict[Tuple[int, int], np.ndarray] = {
+        point: np.zeros(3) for point in grid
+    }
+    for run in range(runs):
+        outcome = _one_run(scheme, topology, num_users, grid, seed + 101 * run)
+        for point, costs in outcome.items():
+            totals[point] += np.asarray(costs, dtype=float)
+    points = [
+        RekeyCostPoint(
+            joins=j,
+            leaves=l,
+            modified=float(totals[(j, l)][0] / runs),
+            original=float(totals[(j, l)][1] / runs),
+            cluster=float(totals[(j, l)][2] / runs),
+        )
+        for j, l in grid
+    ]
+    return RekeyCostSurface(num_users=num_users, runs=runs, points=points)

@@ -1,0 +1,107 @@
+"""Driver for Fig. 14: sensitivity of T-mesh latency to ``D`` and the
+delay thresholds ``(R_1, ..., R_{D-1})``.
+
+The paper multicasts a rekey message on the PlanetLab topology with 226
+joins for several ``(D, R)`` combinations chosen by the Section-4.4
+heuristic (R1 around 100+ ms; R_{D-1} a few ms; successive ratio >= 2)
+and finds the latency distributions essentially insensitive to the
+choice."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ids import IdScheme
+from ..core.tmesh import rekey_session
+from ..metrics.latency import tmesh_latency
+from ..metrics.stats import inverse_cdf
+from .common import build_group, build_topology
+from .config import SCHEME
+
+#: The (D, thresholds) variants plotted in Fig. 14.
+PAPER_VARIANTS: Tuple[Tuple[int, Tuple[float, ...]], ...] = (
+    (5, (150.0, 30.0, 9.0, 3.0)),     # the default used everywhere else
+    (5, (150.0, 80.0, 30.0, 9.0)),
+    (4, (150.0, 30.0, 9.0)),
+    (3, (150.0, 9.0)),
+)
+
+
+@dataclass
+class VariantLatency:
+    """T-mesh rekey latency under one (D, thresholds) choice."""
+
+    num_digits: int
+    thresholds: Tuple[float, ...]
+    app_delay: np.ndarray  # per-user, one run
+    rdp: np.ndarray
+
+    @property
+    def label(self) -> str:
+        r = ",".join(f"{t:g}" for t in self.thresholds)
+        return f"D={self.num_digits} R=({r})"
+
+    def median_delay(self) -> float:
+        return float(np.median(self.app_delay))
+
+    def fraction_rdp_below(self, threshold: float) -> float:
+        return inverse_cdf(self.rdp).fraction_below(threshold)
+
+
+@dataclass
+class ThresholdSweep:
+    num_users: int
+    variants: List[VariantLatency]
+
+    def max_median_delay_spread(self) -> float:
+        """Ratio of worst to best median delay across variants — the
+        paper's 'not sensitive' claim means this stays near 1."""
+        medians = [v.median_delay() for v in self.variants]
+        return max(medians) / min(medians)
+
+    def render(self) -> str:
+        lines = [
+            f"Fig 14 — T-mesh rekey latency vs (D, thresholds); "
+            f"PlanetLab, {self.num_users} users",
+            f"{'variant':32s} {'median delay':>13s} {'RDP<2':>7s} {'RDP<3':>7s}",
+        ]
+        for v in self.variants:
+            lines.append(
+                f"{v.label:32s} {v.median_delay():>11.1f}ms "
+                f"{v.fraction_rdp_below(2):>6.0%} {v.fraction_rdp_below(3):>6.0%}"
+            )
+        lines.append(
+            f"median-delay spread (worst/best): "
+            f"{self.max_median_delay_spread():.2f}x"
+        )
+        return "\n".join(lines)
+
+
+def run_threshold_sweep(
+    num_users: int = 226,
+    variants: Sequence[Tuple[int, Tuple[float, ...]]] = PAPER_VARIANTS,
+    seed: int = 0,
+) -> ThresholdSweep:
+    """Run Fig. 14: one T-mesh rekey multicast per (D, R) variant, same
+    topology and join order throughout."""
+    topology = build_topology("planetlab", num_users, seed)
+    results: List[VariantLatency] = []
+    for num_digits, thresholds in variants:
+        scheme = IdScheme(num_digits=num_digits, base=SCHEME.base)
+        group = build_group(
+            topology, num_users, seed, scheme=scheme, thresholds=thresholds
+        )
+        session = rekey_session(group.server_table, group.tables, topology)
+        sample = tmesh_latency(session, topology)
+        results.append(
+            VariantLatency(
+                num_digits=num_digits,
+                thresholds=tuple(thresholds),
+                app_delay=sample.app_delay,
+                rdp=sample.rdp,
+            )
+        )
+    return ThresholdSweep(num_users=num_users, variants=results)

@@ -1,0 +1,67 @@
+"""Keys, encryptions, and rekey messages.
+
+The identification scheme of Section 2.4: the ID of a key is the ID of its
+corresponding ID-tree node, and the ID of an *encryption* ``{k'}_k`` is the
+ID of the encrypting key ``k``.  Lemma 3: a user needs the key carried in
+an encryption iff the encryption's ID is a prefix of the user's ID.
+
+Encryptions can carry real wrapped-key bytes (application mode) or a
+``None`` payload (simulation mode, where only counts and IDs matter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Tuple
+
+from ..core.ids import Id
+
+
+@dataclass(frozen=True)
+class Encryption:
+    """One ``{new_key}_{encrypting_key}`` item of a rekey message.
+
+    ``encrypting_key_id`` doubles as the encryption's ID.  Versions pin the
+    exact secrets involved, so a receiver knows which held key decrypts the
+    payload and which version the recovered key becomes.
+    """
+
+    encrypting_key_id: Id
+    encrypting_version: int
+    new_key_id: Id
+    new_version: int
+    payload: Optional[bytes] = field(default=None, compare=False, repr=False)
+
+    @property
+    def id(self) -> Id:
+        """The encryption's ID — the ID of the encrypting key
+        (Section 2.4)."""
+        return self.encrypting_key_id
+
+    def needed_by(self, user_id: Id) -> bool:
+        """Lemma 3: the user needs this encryption iff the encryption's ID
+        is a prefix of the user's ID."""
+        return self.encrypting_key_id.is_prefix_of(user_id)
+
+
+@dataclass(frozen=True)
+class RekeyMessage:
+    """The batch rekey message generated at the end of a rekey interval."""
+
+    interval: int
+    encryptions: Tuple[Encryption, ...]
+
+    @property
+    def rekey_cost(self) -> int:
+        """The paper's *rekey cost*: number of encryptions contained in the
+        message (Section 4.2)."""
+        return len(self.encryptions)
+
+    def needed_by(self, user_id: Id) -> Tuple[Encryption, ...]:
+        """The subset of encryptions a given user needs (Lemma 3)."""
+        return tuple(e for e in self.encryptions if e.needed_by(user_id))
+
+    def restricted_to(self, encryptions: Iterable[Encryption]) -> "RekeyMessage":
+        """A copy carrying only the given encryptions (used by the
+        splitting scheme)."""
+        return RekeyMessage(self.interval, tuple(encryptions))

@@ -1,0 +1,81 @@
+"""Rekey message composition strategies (Wong–Gouda–Lam).
+
+The original key-graph work defines three ways to package a batch's new
+keys; the paper's system is *group-oriented* (one message, every
+encryption once) and makes it bandwidth-efficient with splitting.  For
+context and ablations this module computes what the same batch would
+cost under each strategy:
+
+* **group-oriented** — one rekey message carrying each encryption once;
+  every user gets (with splitting: part of) the same message.
+* **key-oriented**  — one message per updated key, each carrying that
+  key's encryptions; total encryptions equal group-oriented, but the
+  server sends as many messages as there are updated keys.
+* **user-oriented** — one message per user containing every new key on
+  that user's path, each encrypted under a key that user holds; users
+  get exactly what they need with no splitting machinery, at the price
+  of re-encrypting shared keys once per user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..core.ids import Id
+from .keys import RekeyMessage
+from .original_tree import OriginalBatchResult, OriginalKeyTree
+
+
+@dataclass(frozen=True)
+class StrategyCost:
+    """Server-side cost of one strategy for one batch."""
+
+    messages: int
+    encryptions: int
+
+
+def modified_tree_strategy_costs(
+    message: RekeyMessage, user_ids: Iterable[Id]
+) -> Dict[str, StrategyCost]:
+    """The three strategies' costs for a modified-key-tree batch.
+
+    ``user_ids`` must be the group membership *after* the batch (the
+    users that need the new keys)."""
+    encryptions = len(message.encryptions)
+    updated_keys = {e.new_key_id for e in message.encryptions}
+    user_list = list(user_ids)
+    user_oriented_encryptions = sum(
+        sum(1 for key in updated_keys if key.is_prefix_of(uid))
+        for uid in user_list
+    )
+    receivers = sum(
+        1
+        for uid in user_list
+        if any(key.is_prefix_of(uid) for key in updated_keys)
+    )
+    return {
+        "group-oriented": StrategyCost(1 if encryptions else 0, encryptions),
+        "key-oriented": StrategyCost(len(updated_keys), encryptions),
+        "user-oriented": StrategyCost(receivers, user_oriented_encryptions),
+    }
+
+
+def original_tree_strategy_costs(
+    tree: OriginalKeyTree, result: OriginalBatchResult
+) -> Dict[str, StrategyCost]:
+    """Same comparison for a WGL-tree batch (node identities instead of
+    ID-tree prefixes)."""
+    encryptions = len(result.encryptions)
+    updated = {e.new_key_node for e in result.encryptions}
+    user_oriented_encryptions = 0
+    receivers = 0
+    for user in tree.users:
+        on_path = sum(1 for node in tree.path_nodes(user) if node in updated)
+        user_oriented_encryptions += on_path
+        receivers += 1 if on_path else 0
+    return {
+        "group-oriented": StrategyCost(1 if encryptions else 0, encryptions),
+        "key-oriented": StrategyCost(len(updated), encryptions),
+        "user-oriented": StrategyCost(receivers, user_oriented_encryptions),
+    }

@@ -1,0 +1,26 @@
+"""Measurement machinery for the paper's figures: inverse CDFs, latency
+metrics (stress / app-layer delay / RDP), and bandwidth accounting."""
+
+from .stats import InverseCdf, RankedRuns, inverse_cdf, ranked_across_runs, summarize
+from .latency import LatencySample, alm_latency, tmesh_latency
+from .bandwidth import (
+    BandwidthSample,
+    alm_split_bandwidth,
+    alm_unsplit_bandwidth,
+    tmesh_bandwidth,
+)
+
+__all__ = [
+    "InverseCdf",
+    "RankedRuns",
+    "inverse_cdf",
+    "ranked_across_runs",
+    "summarize",
+    "LatencySample",
+    "alm_latency",
+    "tmesh_latency",
+    "BandwidthSample",
+    "alm_split_bandwidth",
+    "alm_unsplit_bandwidth",
+    "tmesh_bandwidth",
+]

@@ -1,0 +1,153 @@
+"""Rekey bandwidth-overhead accounting (Fig. 13).
+
+Three quantities per rekey multicast, all measured in *encryptions*:
+per-user received, per-user forwarded, and per-network-link carried.
+Producers exist for every protocol family of Table 2:
+
+* T-mesh with/without splitting — directly from
+  :class:`~repro.core.splitting.SplitSessionResult`;
+* NICE with the original key tree, with/without splitting — splitting over
+  a generic ALM tree requires knowing which encryptions each *downstream
+  user* needs, so the per-subtree needed-sets are computed from the
+  delivery tree (the O(N) per-user state the paper's Section 2.6 points
+  out T-mesh avoids);
+* IP multicast — full message once per tree link.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Set
+
+import numpy as np
+
+from ..alm.base import AlmSessionResult
+from ..core.splitting import SplitSessionResult
+from ..net.routing import LinkStressCounter
+from ..net.topology import Topology
+
+
+@dataclass(frozen=True)
+class BandwidthSample:
+    """Per-user and per-link encryption counts for one rekey multicast."""
+
+    received: np.ndarray
+    forwarded: np.ndarray
+    link_counts: Optional[np.ndarray]  # None on matrix-only topologies
+
+    def most_loaded_user(self) -> float:
+        loads = np.concatenate([self.received, self.forwarded])
+        return float(loads.max()) if loads.size else 0.0
+
+
+def tmesh_bandwidth(
+    split_result: SplitSessionResult,
+    topology: Optional[Topology] = None,
+) -> BandwidthSample:
+    """Package a T-mesh split/unsplit accounting into arrays."""
+    members = sorted(split_result.received)
+    received = np.asarray(
+        [split_result.received[m] for m in members], dtype=float
+    )
+    forwarded = np.asarray(
+        [split_result.forwarded.get(m, 0) for m in members], dtype=float
+    )
+    link_counts = None
+    if topology is not None and topology.supports_link_stress():
+        link_counts = split_result.link_counts(topology).counts
+    return BandwidthSample(received, forwarded, link_counts)
+
+
+def _downstream_needed(
+    session: AlmSessionResult, needed: Mapping[int, Set[int]]
+) -> Dict[int, Set[int]]:
+    """For every host, the union of needed-encryption indices over the
+    host itself and its delivery subtree."""
+    children: Dict[int, List[int]] = {}
+    for receiver, parent in session.upstream.items():
+        children.setdefault(parent, []).append(receiver)
+
+    below: Dict[int, Set[int]] = {}
+    # Iterative post-order: children accumulate into parents.
+    order: List[int] = []
+    stack = [session.sender_host]
+    while stack:
+        host = stack.pop()
+        order.append(host)
+        stack.extend(children.get(host, ()))
+    for host in reversed(order):
+        result = set(needed.get(host, ()))
+        for child in children.get(host, ()):
+            result |= below[child]
+        below[host] = result
+    return below
+
+
+def alm_split_bandwidth(
+    session: AlmSessionResult,
+    needed: Mapping[int, Set[int]],
+    total_encryptions: int,
+    topology: Optional[Topology] = None,
+) -> BandwidthSample:
+    """Rekey message splitting over a generic ALM (protocol P1').
+
+    ``needed`` maps each receiver host to the indices of the encryptions
+    it needs (from the original key tree).  Each hop carries exactly the
+    encryptions needed somewhere in the receiving subtree, intersected
+    with what the forwarder itself received.
+    """
+    below = _downstream_needed(session, needed)
+
+    holdings: Dict[int, Set[int]] = {
+        session.sender_host: set(range(total_encryptions))
+    }
+    received: Dict[int, int] = {}
+    forwarded: Counter = Counter()
+    counter = (
+        LinkStressCounter(topology.num_links)
+        if topology is not None and topology.supports_link_stress()
+        else None
+    )
+    for edge in sorted(session.edges, key=lambda e: (e.send_time, e.arrival_time)):
+        have = holdings.get(edge.src_host, set())
+        carried = have & below.get(edge.dst_host, set())
+        forwarded[edge.src_host] += len(carried)
+        if counter is not None and carried:
+            counter.add_path(
+                topology.path_links(edge.src_host, edge.dst_host), len(carried)
+            )
+        if session.upstream.get(edge.dst_host) == edge.src_host:
+            holdings[edge.dst_host] = carried
+            received[edge.dst_host] = len(carried)
+
+    hosts = sorted(session.arrival)
+    return BandwidthSample(
+        np.asarray([received.get(h, 0) for h in hosts], dtype=float),
+        np.asarray([forwarded.get(h, 0) for h in hosts], dtype=float),
+        counter.counts if counter is not None else None,
+    )
+
+
+def alm_unsplit_bandwidth(
+    session: AlmSessionResult,
+    message_size: int,
+    topology: Optional[Topology] = None,
+) -> BandwidthSample:
+    """Flood the full rekey message over a generic ALM (protocol P0')."""
+    out_degree: Counter = Counter(e.src_host for e in session.edges)
+    hosts = sorted(session.arrival)
+    received = np.full(len(hosts), float(message_size))
+    forwarded = np.asarray(
+        [out_degree.get(h, 0) * message_size for h in hosts], dtype=float
+    )
+    counter = None
+    if topology is not None and topology.supports_link_stress():
+        counter = LinkStressCounter(topology.num_links)
+        for edge in session.edges:
+            counter.add_path(
+                topology.path_links(edge.src_host, edge.dst_host), message_size
+            )
+    return BandwidthSample(
+        received, forwarded, counter.counts if counter is not None else None
+    )

@@ -1,0 +1,60 @@
+"""CSV export of experiment series.
+
+Every figure of the paper is a plot; these helpers dump the regenerated
+series as CSV so any plotting tool can redraw them (the repository avoids
+a hard matplotlib dependency)."""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Iterable, Sequence
+
+from .stats import InverseCdf, RankedRuns
+
+
+def write_inverse_cdf(path: str, cdf: InverseCdf, value_name: str) -> None:
+    """``fraction,value`` rows — one of the paper's inverse CDFs."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["fraction_of_users", value_name])
+        for fraction, value in zip(cdf.fractions, cdf.values):
+            writer.writerow([f"{fraction:.6f}", f"{value:.6f}"])
+
+
+def write_ranked_runs(path: str, ranked: RankedRuns, value_name: str) -> None:
+    """Fig.-6-style series: per-rank mean and 95th percentile."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["fraction_of_users", f"{value_name}_mean", f"{value_name}_p95"]
+        )
+        for fraction, mean, p95 in zip(
+            ranked.fractions, ranked.mean, ranked.p95
+        ):
+            writer.writerow(
+                [f"{fraction:.6f}", f"{mean:.6f}", f"{p95:.6f}"]
+            )
+
+
+def write_table(path: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """A generic figure table (e.g. the Fig. 12 (J, L) surface)."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def write_latency_comparison(prefix: str, comparison) -> Dict[str, str]:
+    """Dump a Figs.-6-11 result (a ``LatencyComparison``) as six CSVs:
+    {tmesh, nice} x {stress, delay, rdp}.  Returns metric -> path."""
+    paths: Dict[str, str] = {}
+    for scheme_name, scheme in (("tmesh", comparison.tmesh), ("nice", comparison.nice)):
+        for metric in ("stress", "app_delay", "rdp"):
+            ranked = getattr(
+                scheme, metric if metric != "app_delay" else "app_delay"
+            )
+            path = f"{prefix}_{scheme_name}_{metric}.csv"
+            write_ranked_runs(path, ranked, metric)
+            paths[f"{scheme_name}_{metric}"] = path
+    return paths

@@ -1,0 +1,55 @@
+"""Latency metrics of Section 4.1: user stress, application-layer delay,
+and relative delay penalty, for both T-mesh and baseline ALM sessions."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Union
+
+import numpy as np
+
+from ..alm.base import AlmSessionResult
+from ..core.tmesh import SessionResult
+from ..net.topology import Topology
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """The three Section-4.1 metrics for every receiver of one session."""
+
+    stress: np.ndarray
+    app_delay: np.ndarray
+    rdp: np.ndarray
+
+
+def tmesh_latency(session: SessionResult, topology: Topology) -> LatencySample:
+    """Metrics over all receivers of a T-mesh session.
+
+    *User stress* counts forwarded messages per user (senders that are
+    users are included in the stress population; the key server is not a
+    user and is excluded, matching the paper)."""
+    out_degree: Counter = Counter(e.src for e in session.edges)
+    members = list(session.receipts)
+    stress = [out_degree.get(m, 0) for m in members]
+    delays = [session.receipts[m].arrival_time for m in members]
+    rdps = [session.rdp(m, topology) for m in members]
+    return LatencySample(
+        np.asarray(stress, dtype=float),
+        np.asarray(delays, dtype=float),
+        np.asarray(rdps, dtype=float),
+    )
+
+
+def alm_latency(session: AlmSessionResult, topology: Topology) -> LatencySample:
+    """Same metrics for a baseline (NICE / IP multicast) session."""
+    out_degree: Counter = Counter(e.src_host for e in session.edges)
+    hosts = list(session.arrival)
+    stress = [out_degree.get(h, 0) for h in hosts]
+    delays = [session.arrival[h] for h in hosts]
+    rdps = [session.rdp(h, topology) for h in hosts]
+    return LatencySample(
+        np.asarray(stress, dtype=float),
+        np.asarray(delays, dtype=float),
+        np.asarray(rdps, dtype=float),
+    )

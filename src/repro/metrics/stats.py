@@ -1,0 +1,92 @@
+"""Statistical helpers for the paper's figures.
+
+All the paper's distribution plots are *inverse cumulative distributions*:
+values sorted in increasing order against the fraction of the population,
+so a point ``(x, y)`` reads "an ``x`` fraction of users have a value less
+than or equal to ``y``".  Fig. 6 additionally averages the per-rank values
+across runs and reports a 95-percentile bar per rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InverseCdf:
+    """An inverse cumulative distribution: fractions vs sorted values."""
+
+    fractions: np.ndarray
+    values: np.ndarray
+
+    def value_at_fraction(self, fraction: float) -> float:
+        """The value ``y`` such that a ``fraction`` of the population has a
+        value <= ``y`` (e.g. ``value_at_fraction(0.78)`` for "78% of users
+        have an RDP less than ...")."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        index = int(np.ceil(fraction * len(self.values))) - 1
+        return float(self.values[index])
+
+    def fraction_below(self, threshold: float) -> float:
+        """The fraction of the population with value <= ``threshold``
+        (e.g. "78% of users have an RDP less than 2")."""
+        return float(np.mean(self.values <= threshold))
+
+
+def inverse_cdf(values: Sequence[float]) -> InverseCdf:
+    """Sort values ascending and pair them with population fractions."""
+    sorted_values = np.sort(np.asarray(list(values), dtype=float))
+    n = len(sorted_values)
+    if n == 0:
+        return InverseCdf(np.empty(0), np.empty(0))
+    fractions = np.arange(1, n + 1, dtype=float) / n
+    return InverseCdf(fractions, sorted_values)
+
+
+@dataclass(frozen=True)
+class RankedRuns:
+    """Fig.-6-style multi-run statistics: users of each run ranked by a
+    metric, then per-rank mean and 95th percentile across runs."""
+
+    fractions: np.ndarray
+    mean: np.ndarray
+    p95: np.ndarray
+
+
+def ranked_across_runs(runs: Sequence[Sequence[float]]) -> RankedRuns:
+    """For each run, rank users in increasing metric order; for each rank
+    compute the average and the 95-percentile across runs (the paper's
+    procedure for Fig. 6)."""
+    if not runs:
+        raise ValueError("need at least one run")
+    lengths = {len(run) for run in runs}
+    if len(lengths) != 1:
+        raise ValueError(f"runs have differing populations: {sorted(lengths)}")
+    matrix = np.sort(np.asarray(runs, dtype=float), axis=1)
+    n = matrix.shape[1]
+    fractions = np.arange(1, n + 1, dtype=float) / n
+    return RankedRuns(
+        fractions=fractions,
+        mean=matrix.mean(axis=0),
+        p95=np.percentile(matrix, 95, axis=0),
+    )
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Compact summary used by the experiment reports."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {"count": 0}
+    return {
+        "count": int(arr.size),
+        "min": float(arr.min()),
+        "median": float(np.median(arr)),
+        "mean": float(arr.mean()),
+        "p90": float(np.percentile(arr, 90)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }

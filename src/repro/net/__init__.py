@@ -1,0 +1,23 @@
+"""Network substrates: topology interface, routing, and the two topology
+families the paper evaluates on (GT-ITM transit-stub and PlanetLab)."""
+
+from .topology import Topology, validate_rtt_matrix
+from .routing import RouterGraph, LinkStressCounter
+from .gtitm import TransitStubTopology, TransitStubParams
+from .planetlab import PlanetLabTopology, MatrixTopology, PAPER_NUM_HOSTS
+from .gnp import GnpEstimatedTopology, GnpModel, fit_gnp
+
+__all__ = [
+    "GnpEstimatedTopology",
+    "GnpModel",
+    "fit_gnp",
+    "Topology",
+    "validate_rtt_matrix",
+    "RouterGraph",
+    "LinkStressCounter",
+    "TransitStubTopology",
+    "TransitStubParams",
+    "PlanetLabTopology",
+    "MatrixTopology",
+    "PAPER_NUM_HOSTS",
+]

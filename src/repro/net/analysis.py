@@ -1,0 +1,181 @@
+"""Topology and overlay analysis built on networkx.
+
+Utilities a systems paper's appendix would use: structural statistics of
+the generated transit-stub graphs, multicast-tree shape analysis, and
+Graphviz/DOT export of delivery trees for visual inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import networkx as nx
+import numpy as np
+
+from ..alm.base import AlmSessionResult
+from ..core.tmesh import SessionResult
+from .gtitm import (
+    INTER_DOMAIN_DELAY,
+    STUB_LINK_DELAY,
+    STUB_TRANSIT_DELAY,
+    TRANSIT_LINK_DELAY,
+    TransitStubTopology,
+)
+from .routing import RouterGraph
+
+
+def router_graph_to_networkx(graph: RouterGraph) -> nx.Graph:
+    """The router graph as an undirected networkx graph; edges carry
+    ``two_way_delay`` and ``link_id`` attributes."""
+    g = nx.Graph()
+    g.add_nodes_from(range(graph.num_routers))
+    for (u, v), link_id in graph._link_ids.items():
+        g.add_edge(
+            u,
+            v,
+            link_id=link_id,
+            two_way_delay=graph.link_two_way_delay(link_id),
+        )
+    return g
+
+
+@dataclass(frozen=True)
+class TopologyStats:
+    """Structural summary of a transit-stub topology."""
+
+    num_routers: int
+    num_links: int
+    mean_degree: float
+    max_degree: int
+    connected: bool
+    link_class_counts: Dict[str, int]
+
+    def render(self) -> str:
+        classes = ", ".join(
+            f"{name}={count}" for name, count in self.link_class_counts.items()
+        )
+        return (
+            f"routers={self.num_routers} links={self.num_links} "
+            f"degree mean={self.mean_degree:.2f} max={self.max_degree} "
+            f"connected={self.connected}\nlink classes: {classes}"
+        )
+
+
+def _classify_delay(delay: float) -> str:
+    for name, (lo, hi) in (
+        ("stub", STUB_LINK_DELAY),
+        ("stub-transit", STUB_TRANSIT_DELAY),
+        ("transit", TRANSIT_LINK_DELAY),
+        ("inter-domain", INTER_DOMAIN_DELAY),
+    ):
+        if lo <= delay <= hi:
+            return name
+    return "other"
+
+
+def transit_stub_stats(topology: TransitStubTopology) -> TopologyStats:
+    """Degree/connectivity/link-class summary of a generated topology —
+    useful for checking a parameterization against the paper's '5000
+    routers and 13000 links'."""
+    g = router_graph_to_networkx(topology.graph)
+    degrees = [d for _, d in g.degree()]
+    class_counts: Dict[str, int] = {}
+    for _, _, data in g.edges(data=True):
+        name = _classify_delay(data["two_way_delay"])
+        class_counts[name] = class_counts.get(name, 0) + 1
+    return TopologyStats(
+        num_routers=g.number_of_nodes(),
+        num_links=g.number_of_edges(),
+        mean_degree=float(np.mean(degrees)) if degrees else 0.0,
+        max_degree=max(degrees) if degrees else 0,
+        connected=nx.is_connected(g),
+        link_class_counts=dict(sorted(class_counts.items())),
+    )
+
+
+# ----------------------------------------------------------------------
+# Multicast delivery trees
+# ----------------------------------------------------------------------
+def tmesh_tree_to_networkx(session: SessionResult) -> nx.DiGraph:
+    """The T-mesh delivery tree of a session (tree edges only — the hops
+    that delivered each member's first copy).  Nodes are user-ID strings;
+    edges carry the hop delay."""
+    g = nx.DiGraph()
+    g.add_node(str(session.sender), host=session.sender_host, root=True)
+    for member, receipt in session.receipts.items():
+        g.add_node(
+            str(member),
+            host=receipt.host,
+            forward_level=receipt.forward_level,
+        )
+        upstream = receipt.upstream
+        upstream_arrival = (
+            0.0
+            if upstream == session.sender
+            else session.receipts[upstream].arrival_time
+        )
+        g.add_edge(
+            str(upstream),
+            str(member),
+            delay=receipt.arrival_time - upstream_arrival,
+        )
+    return g
+
+
+def alm_tree_to_networkx(session: AlmSessionResult) -> nx.DiGraph:
+    """A baseline ALM session's delivery tree; nodes are host indices."""
+    g = nx.DiGraph()
+    g.add_node(session.sender_host, root=True)
+    for host, parent in session.upstream.items():
+        g.add_edge(parent, host)
+    return g
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Shape of a multicast delivery tree."""
+
+    receivers: int
+    depth: int
+    max_fanout: int
+    mean_fanout: float
+    is_tree: bool
+
+    def render(self) -> str:
+        return (
+            f"receivers={self.receivers} depth={self.depth} "
+            f"fanout max={self.max_fanout} mean={self.mean_fanout:.2f} "
+            f"tree={self.is_tree}"
+        )
+
+
+def tree_stats(g: nx.DiGraph) -> TreeStats:
+    """Depth and fan-out statistics of a delivery tree."""
+    roots = [n for n, d in g.in_degree() if d == 0]
+    if len(roots) != 1:
+        raise ValueError(f"expected a single root, found {roots}")
+    root = roots[0]
+    depths = nx.single_source_shortest_path_length(g, root)
+    out_degrees = [d for n, d in g.out_degree() if d > 0]
+    return TreeStats(
+        receivers=g.number_of_nodes() - 1,
+        depth=max(depths.values()) if depths else 0,
+        max_fanout=max(out_degrees) if out_degrees else 0,
+        mean_fanout=float(np.mean(out_degrees)) if out_degrees else 0.0,
+        is_tree=nx.is_arborescence(g),
+    )
+
+
+def export_dot(g: nx.DiGraph, path: str) -> None:
+    """Write a delivery tree as Graphviz DOT (no pydot dependency)."""
+    lines = ["digraph multicast {", "  rankdir=TB;"]
+    for node, data in g.nodes(data=True):
+        shape = "doublecircle" if data.get("root") else "circle"
+        lines.append(f'  "{node}" [shape={shape}];')
+    for src, dst, data in g.edges(data=True):
+        label = f' [label="{data["delay"]:.1f}ms"]' if "delay" in data else ""
+        lines.append(f'  "{src}" -> "{dst}"{label};')
+    lines.append("}")
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")

@@ -1,0 +1,190 @@
+"""Global Network Positioning (GNP) coordinates — the Section-5 extension.
+
+Ng and Zhang's GNP estimates the RTT between two hosts from coordinates
+in a low-dimensional geometric space.  The paper points out (Section 5)
+that GNP "can be used in our system to reduce the probing cost of each
+joining user: if the key server knows the GNP coordinates of all the
+users, it can determine the ID for a joining user by centralized
+computing."  This module implements that extension:
+
+* :class:`GnpModel` — fit landmark coordinates from measured
+  landmark-to-landmark RTTs, then solve each host's coordinates from its
+  RTTs to the landmarks only (``L`` probes per host instead of the join
+  protocol's ``O(P * D * N^(1/D))`` queries + pings);
+* :class:`GnpEstimatedTopology` — a :class:`~repro.net.topology.Topology`
+  view whose RTTs are GNP estimates, pluggable into the centralized ID
+  assignment controller.
+
+The GNP ablation benchmark quantifies what the estimate costs in ID
+quality versus direct measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+from scipy import optimize
+
+from .topology import Topology
+
+
+def _trilaterate(target_rtts: np.ndarray, anchors: np.ndarray) -> np.ndarray:
+    """Linear least-squares multilateration: subtracting the first
+    anchor's sphere equation from the others linearizes the system."""
+    a0, d0 = anchors[0], target_rtts[0]
+    rows = 2.0 * (anchors[1:] - a0)
+    rhs = (
+        (anchors[1:] ** 2).sum(axis=1)
+        - (a0 ** 2).sum()
+        - target_rtts[1:] ** 2
+        + d0 ** 2
+    )
+    solution, *_ = np.linalg.lstsq(rows, rhs, rcond=None)
+    return solution
+
+
+def _fit_point(
+    target_rtts: np.ndarray,
+    anchors: np.ndarray,
+    fallback: np.ndarray,
+) -> np.ndarray:
+    """Coordinates minimizing squared relative error to the anchors:
+    linear trilateration for the starting point, Nelder-Mead to polish."""
+
+    def loss(x: np.ndarray) -> float:
+        dist = np.sqrt(((anchors - x) ** 2).sum(axis=1)) + 1e-9
+        rel = (dist - target_rtts) / np.maximum(target_rtts, 1.0)
+        return float((rel ** 2).sum())
+
+    try:
+        x0 = _trilaterate(target_rtts, anchors)
+    except np.linalg.LinAlgError:  # degenerate anchor geometry
+        x0 = fallback
+    if not np.all(np.isfinite(x0)) or loss(x0) > loss(fallback):
+        x0 = fallback
+    result = optimize.minimize(loss, x0, method="Nelder-Mead",
+                               options={"maxiter": 600, "xatol": 0.01})
+    return result.x if result.fun < loss(x0) else x0
+
+
+@dataclass
+class GnpModel:
+    """Fitted GNP coordinates for every host of a topology."""
+
+    landmarks: List[int]
+    coordinates: np.ndarray  # (num_hosts, dim)
+    probes_per_host: int     # = number of landmarks
+
+    def estimated_rtt(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        return float(
+            np.sqrt(((self.coordinates[a] - self.coordinates[b]) ** 2).sum())
+        )
+
+    def relative_error(self, topology: Topology, pairs: Sequence) -> np.ndarray:
+        """|estimate - actual| / actual over a sample of host pairs."""
+        errors = []
+        for a, b in pairs:
+            actual = topology.rtt(a, b)
+            if actual <= 0:
+                continue
+            errors.append(abs(self.estimated_rtt(a, b) - actual) / actual)
+        return np.asarray(errors)
+
+
+def fit_gnp(
+    topology: Topology,
+    num_landmarks: int = 12,
+    dim: int = 6,
+    seed: int = 0,
+    hosts: Optional[Sequence[int]] = None,
+) -> GnpModel:
+    """Fit a GNP model: landmarks first (joint minimization over their
+    pairwise RTTs), then every other host independently against the
+    landmarks — exactly the two-phase procedure of Ng & Zhang."""
+    if num_landmarks < dim + 1:
+        raise ValueError("need at least dim+1 landmarks")
+    rng = np.random.default_rng(seed)
+    host_list = list(hosts) if hosts is not None else list(range(topology.num_hosts))
+    if num_landmarks > len(host_list):
+        raise ValueError("more landmarks than hosts")
+    landmarks = sorted(
+        int(h)
+        for h in rng.choice(host_list, size=num_landmarks, replace=False)
+    )
+
+    # --- phase 1: landmark coordinates ---------------------------------
+    # Classical multidimensional scaling gives the optimal Euclidean
+    # embedding for (near-)metric data directly; a Nelder-Mead polish
+    # then minimizes GNP's relative-error objective from that start.
+    lm_rtt = np.array(
+        [[topology.rtt(a, b) for b in landmarks] for a in landmarks]
+    )
+    squared = lm_rtt ** 2
+    centering = np.eye(num_landmarks) - np.ones((num_landmarks, num_landmarks)) / num_landmarks
+    gram = -0.5 * centering @ squared @ centering
+    eigenvalues, eigenvectors = np.linalg.eigh(gram)
+    order = np.argsort(eigenvalues)[::-1][:dim]
+    lm_coords = eigenvectors[:, order] * np.sqrt(
+        np.maximum(eigenvalues[order], 0.0)
+    )
+
+    def landmark_loss(flat: np.ndarray) -> float:
+        pts = flat.reshape(num_landmarks, dim)
+        diff = pts[:, None, :] - pts[None, :, :]
+        dist = np.sqrt((diff ** 2).sum(axis=2)) + 1e-9
+        mask = ~np.eye(num_landmarks, dtype=bool)
+        rel = (dist[mask] - lm_rtt[mask]) / np.maximum(lm_rtt[mask], 1.0)
+        return float((rel ** 2).sum())
+
+    fitted = optimize.minimize(
+        landmark_loss, lm_coords.ravel(), method="Nelder-Mead",
+        options={"maxiter": 2000, "xatol": 0.05, "fatol": 1e-6},
+    )
+    if fitted.fun < landmark_loss(lm_coords.ravel()):
+        lm_coords = fitted.x.reshape(num_landmarks, dim)
+
+    # --- phase 2: every host against the landmarks ---------------------
+    coords = np.zeros((topology.num_hosts, dim))
+    for idx, lm in enumerate(landmarks):
+        coords[lm] = lm_coords[idx]
+    center = lm_coords.mean(axis=0)
+    for host in host_list:
+        if host in landmarks:
+            continue
+        targets = np.array([topology.rtt(host, lm) for lm in landmarks])
+        coords[host] = _fit_point(targets, lm_coords, center)
+
+    return GnpModel(
+        landmarks=landmarks,
+        coordinates=coords,
+        probes_per_host=num_landmarks,
+    )
+
+
+class GnpEstimatedTopology(Topology):
+    """A topology whose RTTs are GNP estimates over a real substrate.
+
+    Access RTTs pass through unchanged (a host knows its own access link
+    precisely); only host-to-host RTTs are estimated.  Plug this into
+    :class:`~repro.experiments.common.CentralizedController` to get the
+    paper's "centralized computing" ID assignment without per-join
+    probing.
+    """
+
+    def __init__(self, base: Topology, model: GnpModel):
+        self.base = base
+        self.model = model
+
+    @property
+    def num_hosts(self) -> int:
+        return self.base.num_hosts
+
+    def rtt(self, a: int, b: int) -> float:
+        return self.model.estimated_rtt(a, b)
+
+    def access_rtt(self, host: int) -> float:
+        return self.base.access_rtt(host)

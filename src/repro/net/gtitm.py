@@ -1,0 +1,205 @@
+"""Transit-stub topology generator in the style of GT-ITM.
+
+The paper's GT-ITM topology has 5000 routers and 13000 network links, with
+two-way propagation delays drawn per link class (Section 4):
+
+* link within a stub domain:                 uniform in [0.1, 1] ms
+* link connecting a stub and a transit router: uniform in [2, 3] ms
+* link between transit routers, same domain:   uniform in [10, 15] ms
+* link connecting two transit domains:         uniform in [75, 85] ms
+
+GT-ITM itself is external C software; this module re-implements the
+transit-stub construction directly (random connected intra-domain graphs,
+one transit attachment per stub domain, a connected inter-domain core).
+The default parameters yield 5000 routers and ~13000 links like the paper.
+
+Members (end hosts) attach to randomly selected stub routers via an access
+link whose RTT is drawn from the stub-link delay class, which supplies the
+``h(u, gw_u)`` access RTTs used by the ID-assignment protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .routing import RouterGraph
+from .topology import Topology
+
+# Two-way delay ranges (ms) per link class, from the paper.
+STUB_LINK_DELAY = (0.1, 1.0)
+STUB_TRANSIT_DELAY = (2.0, 3.0)
+TRANSIT_LINK_DELAY = (10.0, 15.0)
+INTER_DOMAIN_DELAY = (75.0, 85.0)
+
+
+@dataclass(frozen=True)
+class TransitStubParams:
+    """Shape parameters of the generated transit-stub graph.
+
+    Defaults reproduce the paper's scale: 10 transit domains x 10 transit
+    routers, 4 stub domains per transit router, 12 routers per stub domain
+    = 100 + 4800 = 4900 routers plus enough intra-stub extra edges to reach
+    ~13000 links.
+    """
+
+    transit_domains: int = 10
+    transit_per_domain: int = 10
+    stubs_per_transit: int = 4
+    stub_size: int = 12
+    # Probability of each extra (non-spanning-tree) edge inside a stub
+    # domain / transit domain; tuned so the default graph has ~13000 links.
+    stub_extra_edge_prob: float = 0.36
+    transit_extra_edge_prob: float = 0.30
+    # Extra random inter-domain links beyond the connecting ring.
+    extra_inter_domain_links: int = 5
+
+    def num_routers(self) -> int:
+        transit = self.transit_domains * self.transit_per_domain
+        stubs = transit * self.stubs_per_transit * self.stub_size
+        return transit + stubs
+
+
+def _random_connected_edges(
+    nodes: Sequence[int], extra_prob: float, rng: np.random.Generator
+) -> List[Tuple[int, int]]:
+    """A random connected graph on ``nodes``: a random spanning tree plus
+    independent extra edges with probability ``extra_prob``."""
+    n = len(nodes)
+    edges: List[Tuple[int, int]] = []
+    order = list(nodes)
+    rng.shuffle(order)
+    present = set()
+    for i in range(1, n):
+        attach = order[int(rng.integers(0, i))]
+        key = (min(order[i], attach), max(order[i], attach))
+        edges.append(key)
+        present.add(key)
+    for i in range(n):
+        for k in range(i + 1, n):
+            key = (nodes[i], nodes[k])
+            if key not in present and rng.random() < extra_prob:
+                edges.append(key)
+                present.add(key)
+    return edges
+
+
+class TransitStubTopology(Topology):
+    """A routed transit-stub topology with attached end hosts."""
+
+    def __init__(
+        self,
+        num_hosts: int,
+        params: TransitStubParams = TransitStubParams(),
+        seed: int = 0,
+    ):
+        if num_hosts <= 0:
+            raise ValueError("num_hosts must be positive")
+        self.params = params
+        rng = np.random.default_rng(seed)
+        edges: List[Tuple[int, int, float]] = []
+
+        def delay(rng_range: Tuple[float, float]) -> float:
+            return float(rng.uniform(rng_range[0], rng_range[1]))
+
+        # --- transit routers, grouped by domain -----------------------
+        transit: List[List[int]] = []
+        next_router = 0
+        for _ in range(params.transit_domains):
+            domain = list(range(next_router, next_router + params.transit_per_domain))
+            next_router += params.transit_per_domain
+            transit.append(domain)
+            for u, v in _random_connected_edges(
+                domain, params.transit_extra_edge_prob, rng
+            ):
+                edges.append((u, v, delay(TRANSIT_LINK_DELAY)))
+
+        # --- inter-domain core: a ring plus random chords --------------
+        domains = params.transit_domains
+        if domains > 1:
+            for d in range(domains):
+                u = transit[d][int(rng.integers(0, params.transit_per_domain))]
+                v = transit[(d + 1) % domains][
+                    int(rng.integers(0, params.transit_per_domain))
+                ]
+                edges.append((u, v, delay(INTER_DOMAIN_DELAY)))
+            for _ in range(params.extra_inter_domain_links):
+                d1, d2 = rng.choice(domains, size=2, replace=False)
+                u = transit[d1][int(rng.integers(0, params.transit_per_domain))]
+                v = transit[d2][int(rng.integers(0, params.transit_per_domain))]
+                if not any(
+                    (min(u, v), max(u, v)) == (min(a, b), max(a, b))
+                    for a, b, _ in edges
+                ):
+                    edges.append((u, v, delay(INTER_DOMAIN_DELAY)))
+
+        # --- stub domains hung off each transit router ------------------
+        self._stub_routers: List[int] = []
+        self._stub_domain_of: dict = {}
+        stub_domain_index = 0
+        for domain in transit:
+            for t_router in domain:
+                for _ in range(params.stubs_per_transit):
+                    stub = list(range(next_router, next_router + params.stub_size))
+                    next_router += params.stub_size
+                    self._stub_routers.extend(stub)
+                    for r in stub:
+                        self._stub_domain_of[r] = stub_domain_index
+                    stub_domain_index += 1
+                    for u, v in _random_connected_edges(
+                        stub, params.stub_extra_edge_prob, rng
+                    ):
+                        edges.append((u, v, delay(STUB_LINK_DELAY)))
+                    gateway = stub[int(rng.integers(0, params.stub_size))]
+                    edges.append((gateway, t_router, delay(STUB_TRANSIT_DELAY)))
+
+        self.graph = RouterGraph(next_router, edges)
+
+        # --- attach hosts to random stub routers -----------------------
+        self._num_hosts = num_hosts
+        self._host_router = rng.choice(
+            np.asarray(self._stub_routers), size=num_hosts
+        ).astype(int)
+        self._access = rng.uniform(
+            STUB_LINK_DELAY[0], STUB_LINK_DELAY[1], size=num_hosts
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_hosts(self) -> int:
+        return self._num_hosts
+
+    @property
+    def num_links(self) -> int:
+        return self.graph.num_links
+
+    @property
+    def num_routers(self) -> int:
+        return self.graph.num_routers
+
+    def host_router(self, host: int) -> int:
+        """Gateway (first-hop) router of a host."""
+        return int(self._host_router[host])
+
+    def access_rtt(self, host: int) -> float:
+        return float(self._access[host])
+
+    def rtt(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        ra, rb = self.host_router(a), self.host_router(b)
+        core = 0.0 if ra == rb else 2.0 * self.graph.one_way_delay(ra, rb)
+        return self.access_rtt(a) + core + self.access_rtt(b)
+
+    def path_links(self, a: int, b: int) -> Sequence[int]:
+        ra, rb = self.host_router(a), self.host_router(b)
+        if ra == rb:
+            return []
+        return self.graph.path_links(ra, rb)
+
+    def stub_domain_of_host(self, host: int) -> int:
+        """Index of the stub domain a host's gateway belongs to (used by
+        tests asserting proximity-aware ID assignment)."""
+        return self._stub_domain_of[self.host_router(host)]

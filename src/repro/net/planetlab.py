@@ -1,0 +1,196 @@
+"""Synthetic PlanetLab-like all-pairs RTT topology.
+
+The paper measured the RTT between each pair of 227 PlanetLab hosts on
+2004-08-12; those hosts "spread in North America, Europe, Asia, and
+Australia".  That measurement file is not available, so this module
+generates a *synthetic* all-pairs RTT matrix with the same structure:
+
+* hosts belong to sites (a PlanetLab site hosts a couple of machines,
+  separated by LAN latencies of a millisecond or two);
+* sites belong to four continents with realistic intra-continent spreads;
+* inter-continent base RTTs are of the same order as 2004 measurements
+  (trans-Atlantic ~90 ms, trans-Pacific ~150 ms, Europe-Australia ~300 ms);
+* the matrix is symmetric, zero-diagonal, and repaired to satisfy the
+  triangle inequality (min-plus closure), as real shortest-path latencies
+  approximately do.
+
+Only the RTT matrix (and the derived one-way delay = RTT/2) is consumed by
+the experiments, so this substitution preserves the behaviour the paper's
+PlanetLab runs exercise: clustered latencies with same-site << same
+continent << cross-continent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+from scipy.sparse.csgraph import shortest_path
+
+from .topology import Topology
+
+
+@dataclass(frozen=True)
+class Continent:
+    """A latency region: a share of hosts and a geographic spread."""
+
+    name: str
+    weight: float          # fraction of hosts
+    center: Tuple[float, float]  # position in "RTT space" (ms)
+    radius: float          # intra-continent geographic spread (ms of RTT)
+
+
+# Continent layout.  Positions are in a 2-D space where Euclidean distance
+# approximates inter-site RTT in milliseconds; the layout gives
+# NA-EU ~95 ms, NA-Asia ~155 ms, EU-Asia ~245 ms, Asia-AU ~125 ms,
+# consistent with 2004-era PlanetLab medians.
+PLANETLAB_CONTINENTS = (
+    Continent("north-america", 0.55, (0.0, 0.0), 35.0),
+    Continent("europe", 0.25, (95.0, 0.0), 22.0),
+    Continent("asia", 0.14, (-155.0, 20.0), 35.0),
+    Continent("australia", 0.06, (-180.0, 140.0), 15.0),
+)
+
+#: Number of PlanetLab hosts measured in the paper.
+PAPER_NUM_HOSTS = 227
+
+
+class PlanetLabTopology(Topology):
+    """Synthetic PlanetLab: an all-pairs host RTT matrix, no router graph.
+
+    Link-stress accounting is unavailable here; the paper accordingly runs
+    its bandwidth experiments (Fig. 13) on the GT-ITM topology only.
+    """
+
+    def __init__(
+        self,
+        num_hosts: int = PAPER_NUM_HOSTS,
+        continents: Tuple[Continent, ...] = PLANETLAB_CONTINENTS,
+        hosts_per_site: float = 2.5,
+        seed: int = 0,
+    ):
+        if num_hosts <= 0:
+            raise ValueError("num_hosts must be positive")
+        rng = np.random.default_rng(seed)
+        self._num_hosts = num_hosts
+
+        # --- place sites ------------------------------------------------
+        num_sites = max(1, int(round(num_hosts / hosts_per_site)))
+        weights = np.array([c.weight for c in continents], dtype=float)
+        weights = weights / weights.sum()
+        site_continent = rng.choice(len(continents), size=num_sites, p=weights)
+        site_pos = np.empty((num_sites, 2), dtype=float)
+        for s, c_idx in enumerate(site_continent):
+            c = continents[c_idx]
+            angle = rng.uniform(0.0, 2.0 * np.pi)
+            # sqrt for uniform density over the disc
+            dist = c.radius * np.sqrt(rng.uniform())
+            site_pos[s] = (
+                c.center[0] + dist * np.cos(angle),
+                c.center[1] + dist * np.sin(angle),
+            )
+
+        # --- site-level RTT matrix: distance plus lognormal jitter -------
+        diff = site_pos[:, None, :] - site_pos[None, :, :]
+        site_rtt = np.sqrt((diff ** 2).sum(axis=2))
+        jitter = rng.lognormal(mean=0.0, sigma=0.12, size=site_rtt.shape)
+        jitter = (jitter + jitter.T) / 2.0  # keep symmetry
+        site_rtt = site_rtt * jitter
+        # A routed path always has some minimum latency between distinct
+        # sites (last-mile + metro hops).
+        off_diag = ~np.eye(num_sites, dtype=bool)
+        site_rtt[off_diag] = np.maximum(site_rtt[off_diag], 4.0)
+        np.fill_diagonal(site_rtt, 0.0)
+        # Min-plus closure: real inter-host latencies approximately obey the
+        # triangle inequality because packets can route via the better path.
+        site_rtt = shortest_path(site_rtt, method="FW", directed=False)
+
+        # --- assign hosts to sites ---------------------------------------
+        self._host_site = rng.integers(0, num_sites, size=num_hosts)
+        # Every site used at least once when possible, so continents are
+        # populated proportionally to their weights.
+        if num_hosts >= num_sites:
+            self._host_site[:num_sites] = np.arange(num_sites)
+            rng.shuffle(self._host_site)
+        self._site_continent = site_continent
+        self._site_rtt = site_rtt
+
+        # --- access links and LAN latencies ------------------------------
+        # Host <-> gateway-router RTT (the h(u, gw_u) of Section 3.1.2).
+        self._access = rng.lognormal(mean=0.0, sigma=0.5, size=num_hosts)
+        self._access = np.clip(self._access, 0.2, 5.0)
+        # Same-site pairs still differ by a LAN RTT of a millisecond or so.
+        self._lan_rtt = rng.uniform(0.3, 1.5, size=num_hosts)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_hosts(self) -> int:
+        return self._num_hosts
+
+    def host_continent(self, host: int) -> str:
+        """Continent name for a host (useful in tests of topology-aware ID
+        assignment)."""
+        c_idx = self._site_continent[self._host_site[host]]
+        return PLANETLAB_CONTINENTS[c_idx].name
+
+    def host_site(self, host: int) -> int:
+        return int(self._host_site[host])
+
+    def access_rtt(self, host: int) -> float:
+        return float(self._access[host])
+
+    def rtt(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        sa, sb = self._host_site[a], self._host_site[b]
+        if sa == sb:
+            core = float(self._lan_rtt[a] + self._lan_rtt[b]) / 2.0
+        else:
+            core = float(self._site_rtt[sa, sb])
+        return core + self.access_rtt(a) + self.access_rtt(b)
+
+    def rtt_matrix(self) -> np.ndarray:
+        """Dense host-level RTT matrix (mostly for analysis and tests)."""
+        m = np.empty((self._num_hosts, self._num_hosts))
+        for a in range(self._num_hosts):
+            for b in range(self._num_hosts):
+                m[a, b] = self.rtt(a, b)
+        return m
+
+
+class MatrixTopology(Topology):
+    """A topology defined directly by an RTT matrix.
+
+    Lets users of the library plug in *real* measurement files (e.g. an
+    actual PlanetLab all-pairs dataset) in place of the synthetic model.
+    """
+
+    def __init__(self, rtt_matrix: np.ndarray, access_rtts: List[float] = None):
+        matrix = np.asarray(rtt_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("rtt_matrix must be square")
+        if not np.allclose(matrix, matrix.T):
+            raise ValueError("rtt_matrix must be symmetric")
+        if np.any(np.diag(matrix) != 0):
+            raise ValueError("rtt_matrix diagonal must be zero")
+        if np.any(matrix < 0):
+            raise ValueError("rtt_matrix must be non-negative")
+        self._matrix = matrix
+        n = matrix.shape[0]
+        if access_rtts is None:
+            self._access = np.ones(n)
+        else:
+            if len(access_rtts) != n:
+                raise ValueError("access_rtts length mismatch")
+            self._access = np.asarray(access_rtts, dtype=float)
+
+    @property
+    def num_hosts(self) -> int:
+        return self._matrix.shape[0]
+
+    def rtt(self, a: int, b: int) -> float:
+        return float(self._matrix[a, b])
+
+    def access_rtt(self, host: int) -> float:
+        return float(self._access[host])

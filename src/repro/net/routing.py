@@ -1,0 +1,143 @@
+"""Shortest-path routing over a router graph.
+
+GT-ITM style topologies route messages over physical links; we need both
+host-to-host delays and the exact link sequence of every routed path so the
+Fig. 13 experiments can count encryptions per *network link*.  Shortest
+paths are computed with scipy's Dijkstra; predecessor matrices are cached
+per source router so repeated path reconstructions are cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra
+
+
+class RouterGraph:
+    """An undirected weighted router graph with link identities.
+
+    ``edges`` are ``(u, v, two_way_delay_ms)`` triples.  Link weights used
+    for routing are one-way delays (half of the stored two-way propagation
+    delay), matching the paper's convention that one-way delay is half of
+    RTT.
+    """
+
+    def __init__(self, num_routers: int, edges: Sequence[Tuple[int, int, float]]):
+        if num_routers <= 0:
+            raise ValueError("router graph needs at least one router")
+        self.num_routers = num_routers
+        self._link_ids: Dict[Tuple[int, int], int] = {}
+        us: List[int] = []
+        vs: List[int] = []
+        ws: List[float] = []
+        self._two_way: List[float] = []
+        for u, v, two_way in edges:
+            if not (0 <= u < num_routers and 0 <= v < num_routers):
+                raise ValueError(f"edge ({u},{v}) outside router range")
+            if u == v:
+                raise ValueError(f"self-loop at router {u}")
+            key = (min(u, v), max(u, v))
+            if key in self._link_ids:
+                raise ValueError(f"duplicate link {key}")
+            self._link_ids[key] = len(self._two_way)
+            self._two_way.append(float(two_way))
+            one_way = float(two_way) / 2.0
+            us.extend((u, v))
+            vs.extend((v, u))
+            ws.extend((one_way, one_way))
+        self._matrix = csr_matrix(
+            (ws, (us, vs)), shape=(num_routers, num_routers)
+        )
+        # Per-source caches filled lazily by _ensure_source().
+        self._dist_cache: Dict[int, np.ndarray] = {}
+        self._pred_cache: Dict[int, np.ndarray] = {}
+
+    @property
+    def num_links(self) -> int:
+        return len(self._two_way)
+
+    def link_id(self, u: int, v: int) -> int:
+        """Identity of the (undirected) link between adjacent routers."""
+        return self._link_ids[(min(u, v), max(u, v))]
+
+    def link_two_way_delay(self, link: int) -> float:
+        return self._two_way[link]
+
+    def is_connected(self) -> bool:
+        """True iff every router is reachable from router 0."""
+        dist = self._ensure_source(0)[0]
+        return bool(np.all(np.isfinite(dist)))
+
+    # ------------------------------------------------------------------
+    def _ensure_source(self, source: int) -> Tuple[np.ndarray, np.ndarray]:
+        if source not in self._dist_cache:
+            dist, pred = dijkstra(
+                self._matrix,
+                directed=False,
+                indices=source,
+                return_predecessors=True,
+            )
+            self._dist_cache[source] = dist
+            self._pred_cache[source] = pred
+        return self._dist_cache[source], self._pred_cache[source]
+
+    def one_way_delay(self, src: int, dst: int) -> float:
+        """One-way shortest-path delay between two routers."""
+        dist = self._ensure_source(src)[0]
+        value = float(dist[dst])
+        if not np.isfinite(value):
+            raise ValueError(f"router {dst} unreachable from {src}")
+        return value
+
+    def path_routers(self, src: int, dst: int) -> List[int]:
+        """Router sequence of the shortest path from ``src`` to ``dst``."""
+        if src == dst:
+            return [src]
+        pred = self._ensure_source(src)[1]
+        path = [dst]
+        node = dst
+        while node != src:
+            node = int(pred[node])
+            if node < 0:
+                raise ValueError(f"router {dst} unreachable from {src}")
+            path.append(node)
+        path.reverse()
+        return path
+
+    def path_links(self, src: int, dst: int) -> List[int]:
+        """Link-ID sequence of the shortest path from ``src`` to ``dst``."""
+        routers = self.path_routers(src, dst)
+        return [
+            self.link_id(a, b) for a, b in zip(routers, routers[1:])
+        ]
+
+    def delays_from(self, source: int) -> np.ndarray:
+        """Vector of one-way delays from ``source`` to every router."""
+        return self._ensure_source(source)[0]
+
+
+class LinkStressCounter:
+    """Accumulates per-link message counts during a multicast session.
+
+    *Stress of a physical link* is the number of identical copies of a
+    message carried by the link (Section 2.3).  For Fig. 13 we accumulate
+    *encryptions* per link instead of message copies; the same counter
+    serves both by varying ``amount``.
+    """
+
+    def __init__(self, num_links: int):
+        self.counts = np.zeros(num_links, dtype=np.float64)
+
+    def add_path(self, links: Sequence[int], amount: float = 1.0) -> None:
+        for link in links:
+            self.counts[link] += amount
+
+    def nonzero(self) -> np.ndarray:
+        """Counts of links that carried at least one unit."""
+        return self.counts[self.counts > 0]
+
+    def max(self) -> float:
+        return float(self.counts.max()) if len(self.counts) else 0.0

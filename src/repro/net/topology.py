@@ -1,0 +1,89 @@
+"""Network topology interface used by all simulations.
+
+The paper's simulator runs on two topologies (Section 4): a PlanetLab
+all-pairs RTT matrix and a GT-ITM transit-stub router topology.  Both are
+exposed behind this interface so the protocol and experiment code never
+needs to know which one it is running on.
+
+Hosts are dense integers ``0 .. num_hosts-1``.  All delays are milliseconds.
+The paper sets one-way delay between two members to half of their RTT; we
+keep that convention: :meth:`Topology.one_way_delay` is ``rtt / 2``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+
+class Topology(ABC):
+    """Abstract network substrate: pairwise host RTTs, access links, and
+    (optionally) routed physical paths for link-stress accounting."""
+
+    @property
+    @abstractmethod
+    def num_hosts(self) -> int:
+        """Number of attachable end hosts."""
+
+    @abstractmethod
+    def rtt(self, a: int, b: int) -> float:
+        """End-host to end-host round-trip time in milliseconds."""
+
+    def one_way_delay(self, a: int, b: int) -> float:
+        """One-way delay, defined as half the RTT (paper, Section 4)."""
+        return self.rtt(a, b) / 2.0
+
+    @abstractmethod
+    def access_rtt(self, host: int) -> float:
+        """RTT between a host and its gateway (first-hop) router — the
+        ``h(u, gw_u)`` of Section 3.1.2, measured there with ping."""
+
+    def gateway_rtt(self, a: int, b: int) -> float:
+        """RTT between the gateway routers of two hosts — the ``r(u, w)``
+        of Section 3.1.2: ``h(u,w) - h(u,gw_u) - h(w,gw_w)``, floored at
+        zero (two hosts on the same router have identical gateways)."""
+        if a == b:
+            return 0.0
+        return max(0.0, self.rtt(a, b) - self.access_rtt(a) - self.access_rtt(b))
+
+    # ------------------------------------------------------------------
+    # Physical-path accounting (only meaningful on router topologies)
+    # ------------------------------------------------------------------
+    @property
+    def num_links(self) -> int:
+        """Number of physical network links, 0 when the topology is a bare
+        RTT matrix (PlanetLab)."""
+        return 0
+
+    def supports_link_stress(self) -> bool:
+        """True iff :meth:`path_links` is available."""
+        return self.num_links > 0
+
+    def path_links(self, a: int, b: int) -> Sequence[int]:
+        """Physical link IDs on the routed path from host ``a`` to host
+        ``b`` (used to compute per-link stress and per-link encryption
+        counts for Fig. 13)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} has no router-level paths"
+        )
+
+
+def validate_rtt_matrix(topology: Topology, sample: Sequence[int]) -> List[str]:
+    """Sanity-check a topology over a sample of hosts.
+
+    Returns a list of human-readable violations (empty when clean):
+    asymmetric RTTs, non-zero diagonal, or negative delays.  Used by the
+    test suite and by topology constructors in debug mode.
+    """
+    problems: List[str] = []
+    for a in sample:
+        if topology.rtt(a, a) != 0.0:
+            problems.append(f"rtt({a},{a}) = {topology.rtt(a, a)} != 0")
+        for b in sample:
+            r_ab = topology.rtt(a, b)
+            r_ba = topology.rtt(b, a)
+            if r_ab < 0:
+                problems.append(f"rtt({a},{b}) = {r_ab} < 0")
+            if abs(r_ab - r_ba) > 1e-9:
+                problems.append(f"rtt asymmetry: ({a},{b}) {r_ab} vs {r_ba}")
+    return problems

@@ -1,0 +1,6 @@
+"""Discrete event simulation: engine, message-passing nodes."""
+
+from .engine import Event, Simulator
+from .node import MessageStats, Network, Node
+
+__all__ = ["Event", "Simulator", "MessageStats", "Network", "Node"]

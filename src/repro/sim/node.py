@@ -1,0 +1,86 @@
+"""Message-passing nodes on top of the event engine.
+
+A :class:`Network` binds a :class:`~repro.sim.engine.Simulator` to a
+:class:`~repro.net.topology.Topology`; nodes attach at topology hosts and
+exchange messages that arrive after the topology's one-way delay.  This is
+the substrate the secure-group application examples run on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from ..net.topology import Topology
+from .engine import Simulator
+
+
+@dataclass
+class MessageStats:
+    """Counters a network keeps about traffic (useful in examples and
+    failure-injection tests)."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+
+
+class Network:
+    """Hosts exchanging messages over a topology with simulated delay."""
+
+    def __init__(self, simulator: Simulator, topology: Topology):
+        self.simulator = simulator
+        self.topology = topology
+        self._nodes: Dict[int, "Node"] = {}
+        self.stats = MessageStats()
+        #: Optional fault hook: return True to drop a message.
+        self.drop_filter: Optional[Callable[[int, int, Any], bool]] = None
+
+    def attach(self, node: "Node") -> None:
+        if node.host in self._nodes:
+            raise ValueError(f"host {node.host} already attached")
+        self._nodes[node.host] = node
+
+    def detach(self, host: int) -> None:
+        self._nodes.pop(host, None)
+
+    def node_at(self, host: int) -> Optional["Node"]:
+        return self._nodes.get(host)
+
+    def send(self, src: int, dst: int, payload: Any) -> None:
+        """Queue a message; it arrives after the topology one-way delay
+        unless the destination detached or the drop filter eats it."""
+        self.stats.sent += 1
+        if self.drop_filter is not None and self.drop_filter(src, dst, payload):
+            self.stats.dropped += 1
+            return
+        delay = self.topology.one_way_delay(src, dst)
+
+        def deliver() -> None:
+            node = self._nodes.get(dst)
+            if node is None:
+                self.stats.dropped += 1
+                return
+            self.stats.delivered += 1
+            node.on_message(src, payload)
+
+        self.simulator.schedule(delay, deliver)
+
+
+class Node:
+    """A host attached to a network; subclass and override
+    :meth:`on_message`."""
+
+    def __init__(self, network: Network, host: int):
+        self.network = network
+        self.host = host
+        network.attach(self)
+
+    def send(self, dst: int, payload: Any) -> None:
+        self.network.send(self.host, dst, payload)
+
+    def on_message(self, src: int, payload: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def detach(self) -> None:
+        self.network.detach(self.host)

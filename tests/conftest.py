@@ -1,0 +1,66 @@
+"""Shared fixtures: small topologies and pre-built groups.
+
+Session-scoped fixtures keep the suite fast: topology generation and
+group building dominate runtime, and the objects are treated as read-only
+by tests that share them (tests that mutate state build their own).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Group, IdAssigner, IdScheme, PAPER_SCHEME
+from repro.net import PlanetLabTopology, TransitStubParams, TransitStubTopology
+
+#: A small ID space that makes collisions and fallbacks reachable in tests.
+SMALL_SCHEME = IdScheme(num_digits=3, base=4)
+
+TINY_GTITM = TransitStubParams(
+    transit_domains=3,
+    transit_per_domain=3,
+    stubs_per_transit=2,
+    stub_size=6,
+)
+
+
+@pytest.fixture(scope="session")
+def gtitm():
+    """A small transit-stub topology with 49 hosts (48 users + server)."""
+    return TransitStubTopology(num_hosts=49, params=TINY_GTITM, seed=42)
+
+
+@pytest.fixture(scope="session")
+def planetlab():
+    """A small PlanetLab-like topology with 49 hosts."""
+    return PlanetLabTopology(num_hosts=49, seed=42)
+
+
+def make_group(topology, num_users, seed=0, scheme=PAPER_SCHEME, k=4):
+    """Build a group by joining hosts 0..num_users-1 in random order."""
+    from repro.experiments.common import _default_thresholds
+
+    rng = np.random.default_rng(seed)
+    group = Group(
+        scheme,
+        topology,
+        server_host=topology.num_hosts - 1,
+        assigner=IdAssigner(scheme, _default_thresholds(scheme)),
+        k=k,
+        rng=rng,
+    )
+    for host in rng.permutation(num_users):
+        group.join(int(host))
+    return group
+
+
+@pytest.fixture(scope="session")
+def gtitm_group(gtitm):
+    """48 users joined on the GT-ITM topology (read-only in tests)."""
+    return make_group(gtitm, 48, seed=7)
+
+
+@pytest.fixture(scope="session")
+def planetlab_group(planetlab):
+    """48 users joined on the PlanetLab topology (read-only in tests)."""
+    return make_group(planetlab, 48, seed=7)

@@ -1,0 +1,132 @@
+"""Tests for the networkx analysis utilities and CSV export."""
+
+import csv
+import os
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.tmesh import rekey_session
+from repro.metrics.export import (
+    write_inverse_cdf,
+    write_latency_comparison,
+    write_ranked_runs,
+    write_table,
+)
+from repro.metrics.stats import inverse_cdf, ranked_across_runs
+from repro.net.analysis import (
+    alm_tree_to_networkx,
+    export_dot,
+    router_graph_to_networkx,
+    tmesh_tree_to_networkx,
+    transit_stub_stats,
+    tree_stats,
+)
+
+
+class TestTopologyAnalysis:
+    def test_router_graph_roundtrip(self, gtitm):
+        g = router_graph_to_networkx(gtitm.graph)
+        assert g.number_of_nodes() == gtitm.num_routers
+        assert g.number_of_edges() == gtitm.num_links
+        # every edge delay matches the RouterGraph record
+        for u, v, data in list(g.edges(data=True))[:50]:
+            link = gtitm.graph.link_id(u, v)
+            assert data["two_way_delay"] == gtitm.graph.link_two_way_delay(link)
+
+    def test_transit_stub_stats(self, gtitm):
+        stats = transit_stub_stats(gtitm)
+        assert stats.connected
+        assert stats.num_routers == gtitm.num_routers
+        assert stats.num_links == gtitm.num_links
+        # the four paper link classes, and nothing unclassified
+        assert set(stats.link_class_counts) <= {
+            "stub",
+            "stub-transit",
+            "transit",
+            "inter-domain",
+        }
+        assert sum(stats.link_class_counts.values()) == stats.num_links
+        assert "link classes" in stats.render()
+
+
+class TestTreeAnalysis:
+    def test_tmesh_tree_is_arborescence(self, gtitm, gtitm_group):
+        session = rekey_session(gtitm_group.server_table, gtitm_group.tables, gtitm)
+        g = tmesh_tree_to_networkx(session)
+        stats = tree_stats(g)
+        assert stats.is_tree
+        assert stats.receivers == len(session.receipts)
+        assert stats.depth >= 1
+        assert "depth" in stats.render()
+
+    def test_edge_delays_are_hop_delays(self, gtitm, gtitm_group):
+        session = rekey_session(gtitm_group.server_table, gtitm_group.tables, gtitm)
+        g = tmesh_tree_to_networkx(session)
+        for _, _, data in g.edges(data=True):
+            assert data["delay"] > 0
+
+    def test_alm_tree(self, planetlab):
+        from repro.alm.nice import NiceHierarchy, nice_multicast
+
+        h = NiceHierarchy(planetlab)
+        for host in range(20):
+            h.join(host)
+        session = nice_multicast(h, planetlab, server_host=48)
+        g = alm_tree_to_networkx(session)
+        stats = tree_stats(g)
+        assert stats.is_tree
+        assert stats.receivers == 20
+
+    def test_tree_stats_rejects_forest(self):
+        g = nx.DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        with pytest.raises(ValueError):
+            tree_stats(g)
+
+    def test_export_dot(self, gtitm, gtitm_group, tmp_path):
+        session = rekey_session(gtitm_group.server_table, gtitm_group.tables, gtitm)
+        g = tmesh_tree_to_networkx(session)
+        path = tmp_path / "tree.dot"
+        export_dot(g, str(path))
+        text = path.read_text()
+        assert text.startswith("digraph multicast")
+        assert "doublecircle" in text  # the root
+        assert "->" in text
+
+
+class TestCsvExport:
+    def test_inverse_cdf(self, tmp_path):
+        path = tmp_path / "cdf.csv"
+        write_inverse_cdf(str(path), inverse_cdf([3.0, 1.0, 2.0]), "rdp")
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["fraction_of_users", "rdp"]
+        assert len(rows) == 4
+        assert float(rows[1][1]) == 1.0
+
+    def test_ranked_runs(self, tmp_path):
+        path = tmp_path / "ranked.csv"
+        ranked = ranked_across_runs([[1.0, 2.0], [3.0, 4.0]])
+        write_ranked_runs(str(path), ranked, "delay")
+        rows = list(csv.reader(path.open()))
+        assert rows[0] == ["fraction_of_users", "delay_mean", "delay_p95"]
+        assert len(rows) == 3
+
+    def test_table(self, tmp_path):
+        path = tmp_path / "table.csv"
+        write_table(str(path), ["j", "l", "cost"], [(0, 0, 0.0), (1, 2, 3.5)])
+        rows = list(csv.reader(path.open()))
+        assert rows == [["j", "l", "cost"], ["0", "0", "0.0"], ["1", "2", "3.5"]]
+
+    def test_latency_comparison_export(self, tmp_path):
+        from repro.experiments.latency_experiments import run_latency_experiment
+
+        cmp = run_latency_experiment(
+            "t", "planetlab", 24, mode="rekey", runs=1, seed=1
+        )
+        paths = write_latency_comparison(str(tmp_path / "fig6"), cmp)
+        assert len(paths) == 6
+        for path in paths.values():
+            assert os.path.exists(path)

@@ -1,0 +1,52 @@
+"""Tests for the command-line interface and report generator."""
+
+import os
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.config import SCALES
+from repro.experiments.report import PAPER_CLAIMS, render_markdown, ReportSection
+
+
+class TestCli:
+    def test_quickstart(self, capsys):
+        assert main(["quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "rekey cost" in out
+        assert "audit OK" in out
+
+    def test_fig14(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["fig", "14"]) == 0
+        assert "Fig 14" in capsys.readouterr().out
+
+    def test_unknown_figure(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert main(["fig", "99"]) == 2
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestReport:
+    def test_claims_cover_every_figure(self):
+        assert set(PAPER_CLAIMS) == {
+            "fig6",
+            "fig7_8",
+            "fig9_11",
+            "fig12",
+            "fig13",
+            "fig14",
+        }
+
+    def test_render_markdown_structure(self):
+        sections = [
+            ReportSection("Fig. 6 — test", "claim text", "measured rows", 1.5)
+        ]
+        text = render_markdown(sections, SCALES["tiny"])
+        assert "# EXPERIMENTS" in text
+        assert "## Fig. 6 — test" in text
+        assert "claim text" in text
+        assert "measured rows" in text

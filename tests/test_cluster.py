@@ -1,0 +1,150 @@
+"""Tests for the Appendix-B cluster rekeying heuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ids import Id, IdScheme
+from repro.keytree.cluster import ClusterRekeyingTree
+
+SCHEME = IdScheme(num_digits=3, base=4)
+
+
+def settled(users):
+    tree = ClusterRekeyingTree(SCHEME)
+    for uid in users:
+        tree.request_join(uid)
+    tree.process_batch()
+    return tree
+
+
+class TestLeadership:
+    def test_first_join_in_cluster_is_leader(self):
+        tree = ClusterRekeyingTree(SCHEME)
+        assert tree.request_join(Id([0, 0, 0])) is True
+        assert tree.request_join(Id([0, 0, 1])) is False  # same cluster
+        assert tree.is_leader(Id([0, 0, 0]))
+        assert not tree.is_leader(Id([0, 0, 1]))
+
+    def test_leader_by_earliest_join_time(self):
+        tree = settled([Id([1, 2, 3]), Id([1, 2, 0]), Id([1, 2, 1])])
+        assert tree.leader_of(Id([1, 2, 1])) == Id([1, 2, 3])
+
+    def test_clusters_are_level_dminus1_subtrees(self):
+        tree = settled([Id([0, 0, 0]), Id([0, 1, 0]), Id([0, 0, 3])])
+        assert tree.num_clusters == 2
+        assert tree.cluster_of(Id([0, 0, 3])) == Id([0, 0])
+        assert sorted(tree.cluster_members(Id([0, 0]))) == [
+            Id([0, 0, 0]),
+            Id([0, 0, 3]),
+        ]
+
+    def test_leadership_handoff_on_leader_leave(self):
+        tree = settled([Id([2, 2, 0]), Id([2, 2, 1]), Id([2, 2, 2])])
+        assert tree.request_leave(Id([2, 2, 0])) is True
+        assert tree.leader_of(Id([2, 2, 1])) == Id([2, 2, 1])
+        tree.process_batch()
+        # the new leader's u-node is now in the inner key tree
+        assert tree.key_tree.has_node(Id([2, 2, 1]))
+        assert not tree.key_tree.has_node(Id([2, 2, 0]))
+
+
+class TestRekeyTriggers:
+    def test_non_leader_churn_is_free(self):
+        tree = settled([Id([0, 0, 0]), Id([1, 1, 1])])
+        assert tree.request_join(Id([0, 0, 2])) is False
+        assert tree.request_leave(Id([0, 0, 2])) is False
+        result = tree.process_batch()
+        assert result.rekey_cost == 0
+        assert result.unicasts == ()
+
+    def test_leader_join_rekeys(self):
+        tree = settled([Id([0, 0, 0])])
+        assert tree.request_join(Id([3, 3, 0])) is True  # new cluster
+        result = tree.process_batch()
+        assert result.rekey_cost > 0
+
+    def test_leader_leave_rekeys(self):
+        tree = settled([Id([0, 0, 0]), Id([3, 3, 0])])
+        assert tree.request_leave(Id([3, 3, 0])) is True
+        result = tree.process_batch()
+        assert result.rekey_cost > 0
+
+    def test_unicasts_cover_every_non_leader(self):
+        users = [Id([0, 0, j]) for j in range(3)] + [Id([2, 1, 0])]
+        tree = settled(users)
+        tree.request_leave(Id([2, 1, 0]))  # leader leaves -> rekey
+        result = tree.process_batch()
+        assert result.rekey_cost > 0
+        fanout = {u.leader: set(u.members) for u in result.unicasts}
+        assert fanout == {Id([0, 0, 0]): {Id([0, 0, 1]), Id([0, 0, 2])}}
+
+    def test_errors(self):
+        tree = settled([Id([0, 0, 0])])
+        with pytest.raises(ValueError):
+            tree.request_leave(Id([1, 1, 1]))
+        tree.request_join(Id([0, 0, 1]))
+        with pytest.raises(ValueError):
+            tree.request_join(Id([0, 0, 1]))
+
+
+class TestCostComparison:
+    def test_cluster_cheaper_than_plain_modified_for_nonleader_churn(self):
+        """With clusters populated, most churn hits non-leaders and the
+        heuristic's rekey cost drops below the plain modified tree's."""
+        from repro.keytree.modified_tree import ModifiedKeyTree
+
+        users = [Id([a, b, c]) for a in range(2) for b in range(2) for c in range(3)]
+        cluster = settled(users)
+        plain = ModifiedKeyTree(SCHEME)
+        for uid in users:
+            plain.request_join(uid)
+        plain.process_batch()
+        # two non-leader leaves
+        victims = [Id([0, 0, 1]), Id([0, 0, 2])]
+        for v in victims:
+            cluster.request_leave(v)
+            plain.request_leave(v)
+        assert cluster.process_batch().rekey_cost == 0
+        assert plain.process_batch().rekey_cost > 0
+
+
+@st.composite
+def cluster_scenarios(draw):
+    all_ids = [
+        Id((a, b, c)) for a in range(3) for b in range(3) for c in range(4)
+    ]
+    initial = draw(st.lists(st.sampled_from(all_ids), min_size=3, max_size=20, unique=True))
+    leave_count = draw(st.integers(0, len(initial)))
+    return initial, leave_count
+
+
+class TestChurnProperty:
+    @given(cluster_scenarios(), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_invariants_through_churn(self, scenario, seed):
+        initial, leave_count = scenario
+        rng = np.random.default_rng(seed)
+        tree = settled(initial)
+        victims = [
+            initial[int(i)]
+            for i in rng.choice(len(initial), size=leave_count, replace=False)
+        ]
+        for v in victims:
+            tree.request_leave(v)
+        tree.process_batch()
+        remaining = set(initial) - set(victims)
+        assert tree.num_users == len(remaining)
+        # leaders exist exactly for occupied clusters, and each is the
+        # earliest-joined member of its cluster
+        clusters = {}
+        for uid in remaining:
+            clusters.setdefault(tree.cluster_of(uid), []).append(uid)
+        assert tree.num_clusters == len(clusters)
+        for prefix, members in clusters.items():
+            leader = tree.leader_of(members[0])
+            assert leader in members
+            assert tree.key_tree.has_node(leader)
+            for m in members:
+                if m != leader:
+                    assert not tree.key_tree.has_node(m)

@@ -1,0 +1,101 @@
+"""Crypto-mode tests of the Appendix-B heuristic: only leaders can
+decrypt the rekey message; members get the group key via their leader's
+pairwise unicast."""
+
+import numpy as np
+import pytest
+
+from repro.core.ids import Id, IdScheme, NULL_ID
+from repro.crypto import cipher
+from repro.crypto.keystore import KeyStore
+from repro.keytree.cluster import ClusterRekeyingTree
+from repro.keytree.modified_tree import apply_rekey_message
+
+SCHEME = IdScheme(num_digits=3, base=4)
+
+
+@pytest.fixture
+def crypto_cluster():
+    tree = ClusterRekeyingTree(
+        SCHEME, crypto=True, rng=np.random.default_rng(3)
+    )
+    users = [Id([0, 0, 0]), Id([0, 0, 1]), Id([0, 0, 2]), Id([2, 1, 0])]
+    for uid in users:
+        tree.request_join(uid)
+    tree.process_batch()
+    return tree, users
+
+
+class TestLeaderKeys:
+    def test_leader_holds_full_path(self, crypto_cluster):
+        tree, users = crypto_cluster
+        leader = users[0]  # earliest join of cluster [0,0]
+        assert tree.is_leader(leader)
+        store = tree.key_tree.user_keystore(leader)
+        for key_id in tree.key_tree.path_key_ids(leader):
+            assert store.has(key_id)
+
+    def test_leader_decrypts_rekey_message(self, crypto_cluster):
+        tree, users = crypto_cluster
+        leader = users[0]
+        store = tree.key_tree.user_keystore(leader)
+        # the other cluster's leader leaves -> group rekeys
+        tree.request_leave(users[3])
+        result = tree.process_batch()
+        assert result.rekey_cost > 0
+        used = apply_rekey_message(store, result.message)
+        assert used  # the leader recovered new keys
+        assert store.has(NULL_ID, tree.key_tree.group_key_version())
+
+    def test_nonleader_cannot_decrypt_rekey_message(self, crypto_cluster):
+        """A non-leader holds only {group key, individual key, pairwise
+        key} — none of which encrypts anything in the rekey message."""
+        tree, users = crypto_cluster
+        nonleader_store = KeyStore()
+        nonleader_store.put(
+            NULL_ID,
+            tree.key_tree.group_key_version(),
+            tree.key_tree.node_secret(NULL_ID),
+        )
+        tree.request_leave(users[3])
+        result = tree.process_batch()
+        used = apply_rekey_message(nonleader_store, result.message)
+        assert used == []
+        assert not nonleader_store.has(
+            NULL_ID, tree.key_tree.group_key_version()
+        )
+
+    def test_pairwise_unicast_closes_the_loop(self, crypto_cluster):
+        """End-to-end Appendix B: leader decrypts the new group key and
+        re-wraps it for a member under their pairwise key."""
+        tree, users = crypto_cluster
+        leader, member = users[0], users[1]
+        pairwise = cipher.generate_key(np.random.default_rng(9))
+        leader_store = tree.key_tree.user_keystore(leader)
+
+        tree.request_leave(users[3])
+        result = tree.process_batch()
+        apply_rekey_message(leader_store, result.message)
+        version = tree.key_tree.group_key_version()
+        group_key = leader_store.get(NULL_ID, version)
+
+        # the unicast fan-out names this member
+        fanout = {u.leader: u.members for u in result.unicasts}
+        assert member in fanout[leader]
+
+        wrapped = cipher.encrypt(pairwise, group_key)
+        recovered = cipher.decrypt(pairwise, wrapped)
+        assert recovered == tree.key_tree.node_secret(NULL_ID)
+
+    def test_leader_handoff_transfers_decryption_ability(self, crypto_cluster):
+        tree, users = crypto_cluster
+        old_leader, new_leader = users[0], users[1]
+        tree.request_leave(old_leader)
+        result = tree.process_batch()
+        # Appendix B: the departing leader hands its path keys to the
+        # successor, whose u-node replaced it in the key tree; afterwards
+        # the successor holds the full current path.
+        store = tree.key_tree.user_keystore(new_leader)
+        for key_id in tree.key_tree.path_key_ids(new_leader):
+            assert store.get(key_id) == tree.key_tree.node_secret(key_id)
+        assert tree.is_leader(new_leader)

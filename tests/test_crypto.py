@@ -1,0 +1,133 @@
+"""Tests for the crypto substrate: cipher, tags, and key stores."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ids import Id, NULL_ID
+from repro.crypto import (
+    AuthenticationError,
+    auth_tag,
+    cipher,
+    decrypt,
+    encrypt,
+    generate_key,
+    verify_tag,
+)
+from repro.crypto.keystore import KeyStore
+
+
+class TestCipher:
+    def test_roundtrip(self):
+        key = generate_key()
+        assert decrypt(key, encrypt(key, b"hello group")) == b"hello group"
+
+    def test_empty_plaintext(self):
+        key = generate_key()
+        assert decrypt(key, encrypt(key, b"")) == b""
+
+    def test_wrong_key_rejected(self):
+        blob = encrypt(generate_key(), b"secret")
+        with pytest.raises(AuthenticationError):
+            decrypt(generate_key(), blob)
+
+    def test_tampering_detected(self):
+        key = generate_key()
+        blob = bytearray(encrypt(key, b"secret"))
+        blob[20] ^= 0xFF
+        with pytest.raises(AuthenticationError):
+            decrypt(key, bytes(blob))
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(AuthenticationError):
+            decrypt(generate_key(), b"short")
+
+    def test_nonce_randomizes_ciphertext(self):
+        key = generate_key()
+        assert encrypt(key, b"x") != encrypt(key, b"x")
+
+    def test_deterministic_with_seeded_rng(self):
+        rng1 = np.random.default_rng(5)
+        rng2 = np.random.default_rng(5)
+        key = b"k" * 32
+        assert encrypt(key, b"data", rng=rng1) == encrypt(key, b"data", rng=rng2)
+
+    def test_generate_key_length_and_variety(self):
+        keys = {generate_key() for _ in range(10)}
+        assert len(keys) == 10
+        assert all(len(k) == 32 for k in keys)
+
+    def test_generate_key_bad_rng(self):
+        with pytest.raises(TypeError):
+            generate_key(rng="not an rng")
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, plaintext):
+        key = b"fixed-key-for-hypothesis-tests!!"
+        assert decrypt(key, encrypt(key, plaintext)) == plaintext
+
+
+class TestTags:
+    def test_tag_verifies(self):
+        key = generate_key()
+        tag = auth_tag(key, b"challenge")
+        assert verify_tag(key, b"challenge", tag)
+
+    def test_tag_rejects_wrong_message(self):
+        key = generate_key()
+        tag = auth_tag(key, b"challenge")
+        assert not verify_tag(key, b"other", tag)
+
+    def test_tag_rejects_wrong_key(self):
+        tag = auth_tag(generate_key(), b"challenge")
+        assert not verify_tag(generate_key(), b"challenge", tag)
+
+
+class TestKeyStore:
+    def test_put_get_latest(self):
+        store = KeyStore()
+        store.put(NULL_ID, 0, b"a" * 32)
+        store.put(NULL_ID, 1, b"b" * 32)
+        assert store.get(NULL_ID) == b"b" * 32
+        assert store.get(NULL_ID, 0) == b"a" * 32
+        assert store.latest_version(NULL_ID) == 1
+
+    def test_has(self):
+        store = KeyStore()
+        assert not store.has(NULL_ID)
+        store.put(NULL_ID, 3, b"c" * 32)
+        assert store.has(NULL_ID)
+        assert store.has(NULL_ID, 3)
+        assert not store.has(NULL_ID, 2)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            KeyStore().get(Id([1]))
+
+    def test_drop_forgets_all_versions(self):
+        store = KeyStore()
+        store.put(Id([1]), 0, b"a" * 32)
+        store.put(Id([1]), 1, b"b" * 32)
+        store.drop(Id([1]))
+        assert not store.has(Id([1]))
+        assert not store.has(Id([1]), 0)
+
+    def test_wrap_unwrap(self):
+        store = KeyStore()
+        wrapping = generate_key()
+        store.put(Id([2]), 0, wrapping)
+        inner = generate_key()
+        blob = store.wrap(Id([2]), inner)
+        assert store.unwrap(Id([2]), 0, blob) == inner
+
+    def test_unwrap_without_key_raises(self):
+        store = KeyStore()
+        with pytest.raises(KeyError):
+            store.unwrap(Id([2]), 0, b"blob")
+
+    def test_key_ids_enumeration(self):
+        store = KeyStore()
+        store.put(Id([1]), 0, b"a" * 32)
+        store.put(Id([2]), 0, b"b" * 32)
+        assert set(store.key_ids()) == {Id([1]), Id([2])}

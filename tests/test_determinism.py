@@ -1,0 +1,85 @@
+"""Determinism: every driver must be a pure function of its seed, so
+published numbers are reproducible run to run."""
+
+import numpy as np
+import pytest
+
+
+class TestDriverDeterminism:
+    def test_topology_generation(self):
+        from repro.net import TransitStubParams, TransitStubTopology
+
+        params = TransitStubParams(
+            transit_domains=2, transit_per_domain=3,
+            stubs_per_transit=2, stub_size=5,
+        )
+        a = TransitStubTopology(num_hosts=20, params=params, seed=9)
+        b = TransitStubTopology(num_hosts=20, params=params, seed=9)
+        for x in range(0, 20, 3):
+            for y in range(0, 20, 7):
+                assert a.rtt(x, y) == b.rtt(x, y)
+
+    def test_planetlab_generation(self):
+        from repro.net import PlanetLabTopology
+
+        a = PlanetLabTopology(num_hosts=30, seed=4)
+        b = PlanetLabTopology(num_hosts=30, seed=4)
+        assert np.allclose(a.rtt_matrix(), b.rtt_matrix())
+
+    def test_group_build(self, gtitm):
+        from .conftest import make_group
+
+        a = make_group(gtitm, 20, seed=5)
+        b = make_group(gtitm, 20, seed=5)
+        assert sorted(a.user_ids) == sorted(b.user_ids)
+        assert {u: r.host for u, r in a.records.items()} == {
+            u: r.host for u, r in b.records.items()
+        }
+
+    def test_latency_experiment(self):
+        from repro.experiments.latency_experiments import run_latency_experiment
+
+        a = run_latency_experiment("t", "planetlab", 24, runs=1, seed=3)
+        b = run_latency_experiment("t", "planetlab", 24, runs=1, seed=3)
+        assert a.headlines() == b.headlines()
+
+    def test_rekey_cost_experiment(self, gtitm):
+        from repro.experiments.rekey_cost import run_rekey_cost
+
+        grid = [(0, 0), (10, 5)]
+        a = run_rekey_cost(num_users=24, grid=grid, runs=1, seed=6, topology=gtitm)
+        b = run_rekey_cost(num_users=24, grid=grid, runs=1, seed=6, topology=gtitm)
+        for pa, pb in zip(a.points, b.points):
+            assert (pa.modified, pa.original, pa.cluster) == (
+                pb.modified,
+                pb.original,
+                pb.cluster,
+            )
+
+    def test_distributed_world(self):
+        from repro.distributed import DistributedGroup
+        from repro.net import TransitStubParams, TransitStubTopology
+
+        params = TransitStubParams(
+            transit_domains=2, transit_per_domain=3,
+            stubs_per_transit=2, stub_size=5,
+        )
+
+        def build():
+            topology = TransitStubTopology(num_hosts=21, params=params, seed=8)
+            world = DistributedGroup(topology, server_host=20, seed=8)
+            for i in range(8):
+                world.schedule_join(i, at=1.0 + 200.0 * i)
+            world.end_interval(at=3000.0)
+            world.run()
+            return sorted(str(u.user_id) for u in world.active_users())
+
+        assert build() == build()
+
+    def test_different_seeds_differ(self):
+        """Sanity: seeds actually vary the workload."""
+        from repro.experiments.latency_experiments import run_latency_experiment
+
+        a = run_latency_experiment("t", "planetlab", 24, runs=1, seed=1)
+        b = run_latency_experiment("t", "planetlab", 24, runs=1, seed=2)
+        assert a.headlines() != b.headlines()

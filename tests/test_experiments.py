@@ -1,0 +1,176 @@
+"""Integration tests of the experiment drivers at tiny scale: each run
+must reproduce the *shape* of the paper's result — who wins, and in which
+direction the effects point."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.bandwidth_experiment import run_bandwidth_experiment
+from repro.experiments.common import (
+    CentralizedController,
+    build_topology,
+    server_host_of,
+)
+from repro.experiments.config import SCALES, current_scale
+from repro.experiments.latency_experiments import run_latency_experiment
+from repro.experiments.rekey_cost import default_grid, run_rekey_cost
+from repro.experiments.thresholds import run_threshold_sweep
+
+
+class TestConfig:
+    def test_scales_defined(self):
+        assert set(SCALES) >= {"paper", "small", "tiny"}
+        paper = SCALES["paper"]
+        assert paper.planetlab_users == 226
+        assert paper.gtitm_users_large == 1024
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert current_scale().name == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_topology_kinds(self):
+        assert build_topology("planetlab", 10, 0).num_hosts == 11
+        with pytest.raises(ValueError):
+            build_topology("atm", 10, 0)
+
+
+class TestCentralizedController:
+    def test_assigns_unique_topology_aware_ids(self, gtitm):
+        from repro import PAPER_SCHEME
+
+        controller = CentralizedController(PAPER_SCHEME, gtitm, seed=1)
+        ids = [controller.join(h) for h in range(30)]
+        assert len(set(ids)) == 30
+
+    def test_leave_frees_id(self, gtitm):
+        from repro import PAPER_SCHEME
+
+        controller = CentralizedController(PAPER_SCHEME, gtitm, seed=2)
+        ids = [controller.join(h) for h in range(5)]
+        controller.leave(ids[0])
+        assert len(controller.records) == 4
+
+
+class TestLatencyShapes:
+    @pytest.fixture(scope="class")
+    def rekey_cmp(self):
+        return run_latency_experiment(
+            "test", "planetlab", 48, mode="rekey", runs=2, seed=3
+        )
+
+    def test_tmesh_beats_nice_on_delay(self, rekey_cmp):
+        # the paper's headline: T-mesh app-layer delay ~ half of NICE's
+        assert rekey_cmp.tmesh.median_delay() < rekey_cmp.nice.median_delay()
+
+    def test_tmesh_beats_nice_on_rdp(self, rekey_cmp):
+        assert rekey_cmp.tmesh.fraction_rdp_below(2.0) > rekey_cmp.nice.fraction_rdp_below(2.0)
+
+    def test_stress_comparable(self, rekey_cmp):
+        # "the distributions of user stress in T-mesh and NICE are
+        # comparable" — same order of magnitude, not 10x apart
+        t, n = rekey_cmp.tmesh.p95_stress(), rekey_cmp.nice.p95_stress()
+        assert t <= 3 * n + 1
+
+    def test_data_mode_shape(self):
+        cmp = run_latency_experiment(
+            "test", "planetlab", 40, mode="data", runs=1, seed=4
+        )
+        assert cmp.tmesh.median_delay() <= cmp.nice.median_delay() * 1.5
+
+    def test_render_contains_headlines(self, rekey_cmp):
+        text = rekey_cmp.render()
+        assert "RDP < 2" in text and "T-mesh" in text and "NICE" in text
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            run_latency_experiment("x", "planetlab", 10, mode="carrier-pigeon")
+
+
+class TestRekeyCostShapes:
+    @pytest.fixture(scope="class")
+    def surface(self, gtitm):
+        return run_rekey_cost(
+            num_users=48, grid=default_grid(48, 3), runs=2, seed=5, topology=gtitm
+        )
+
+    def test_modified_costs_more_than_original(self, surface):
+        # Fig. 12(b): positive surface (except trivial corners)
+        diffs = [
+            p.modified_minus_original
+            for p in surface.points
+            if 0 < p.joins or 0 < p.leaves < surface.num_users
+        ]
+        assert np.mean(diffs) > 0
+
+    def test_cluster_cheaper_for_join_heavy_churn(self, surface):
+        # Fig. 12(c): negative for small leave fractions
+        p = surface.point(surface.num_users, 0)  # all joins, no leaves
+        assert p.cluster_minus_original < 0
+
+    def test_cost_grows_with_churn(self, surface):
+        zero = surface.point(0, 0)
+        heavy = surface.point(surface.num_users, surface.num_users // 2)
+        assert zero.modified == 0
+        assert heavy.modified > 0
+
+    def test_render(self, surface):
+        assert "mod-orig" in surface.render()
+
+
+class TestBandwidthShapes:
+    @pytest.fixture(scope="class")
+    def experiment(self):
+        return run_bandwidth_experiment(num_users=64, churn=16, seed=6)
+
+    def test_all_protocols_present(self, experiment):
+        assert set(experiment.results) == {
+            "P0",
+            "P0'",
+            "P1",
+            "P1'",
+            "P2",
+            "P3",
+            "P4",
+        }
+
+    def test_splitting_reduces_max_load(self, experiment):
+        r = experiment.results
+        assert r["P2"].max_forwarded() < r["P1"].max_forwarded()
+        assert r["P4"].max_forwarded() < r["P3"].max_forwarded()
+        assert r["P1'"].max_forwarded() < r["P0'"].max_forwarded()
+
+    def test_splitting_helps_most_users(self, experiment):
+        r = experiment.results
+        assert r["P2"].fraction_users_below(10) > r["P1"].fraction_users_below(10)
+        assert r["P4"].fraction_users_below(10) >= r["P2"].fraction_users_below(10) * 0.8
+
+    def test_tmesh_split_beats_nice_split_at_the_top(self, experiment):
+        # Section 4.3: splitting is more effective in P2/P4 than in P1',
+        # especially for the most loaded users
+        r = experiment.results
+        assert r["P2"].max_forwarded() <= r["P1'"].max_forwarded() * 1.5
+
+    def test_ip_multicast_users_receive_full_message(self, experiment):
+        p0 = experiment.results["P0"]
+        assert (p0.sample.received == p0.message_size).all()
+        assert p0.max_forwarded() == 0
+
+    def test_unsplit_users_receive_full_message(self, experiment):
+        for name in ("P1", "P3", "P0'"):
+            r = experiment.results[name]
+            assert r.sample.received.min() >= r.message_size
+
+    def test_render(self, experiment):
+        text = experiment.render()
+        assert "P4" in text and "max link" in text
+
+
+class TestThresholdShapes:
+    def test_insensitive_to_thresholds(self):
+        sweep = run_threshold_sweep(num_users=48, seed=7)
+        # Fig. 14: latency performance "not sensitive" to the choice
+        assert sweep.max_median_delay_spread() < 2.0
+        assert "Fig 14" in sweep.render()

@@ -1,0 +1,94 @@
+"""Tests for the GNP network-coordinates extension (Section 5)."""
+
+import numpy as np
+import pytest
+
+from repro.net import PlanetLabTopology
+from repro.net.gnp import GnpEstimatedTopology, GnpModel, fit_gnp
+from repro.net.planetlab import MatrixTopology
+
+
+@pytest.fixture(scope="module")
+def world():
+    topology = PlanetLabTopology(num_hosts=60, seed=4)
+    model = fit_gnp(topology, num_landmarks=12, dim=6, seed=1)
+    return topology, model
+
+
+class TestFit:
+    def test_estimates_are_accurate_on_clustered_latencies(self, world):
+        topology, model = world
+        rng = np.random.default_rng(0)
+        pairs = [
+            (int(a), int(b))
+            for a, b in rng.integers(0, 60, size=(200, 2))
+            if a != b
+        ]
+        err = model.relative_error(topology, pairs)
+        assert np.median(err) < 0.25  # GNP's published accuracy regime
+
+    def test_probe_budget_is_landmark_count(self, world):
+        _, model = world
+        assert model.probes_per_host == 12
+
+    def test_self_distance_zero(self, world):
+        _, model = world
+        assert model.estimated_rtt(5, 5) == 0.0
+
+    def test_symmetry(self, world):
+        _, model = world
+        assert model.estimated_rtt(3, 7) == pytest.approx(
+            model.estimated_rtt(7, 3)
+        )
+
+    def test_exact_recovery_of_euclidean_matrix(self):
+        """A perfectly Euclidean RTT matrix must embed near-exactly."""
+        rng = np.random.default_rng(2)
+        pts = rng.uniform(0, 100, size=(25, 3))
+        m = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(axis=2))
+        np.fill_diagonal(m, 0.0)
+        topology = MatrixTopology((m + m.T) / 2)
+        model = fit_gnp(topology, num_landmarks=8, dim=3, seed=0)
+        pairs = [(a, b) for a in range(25) for b in range(a + 1, 25)]
+        err = model.relative_error(topology, pairs)
+        assert np.median(err) < 0.05
+
+    def test_parameter_validation(self, world):
+        topology, _ = world
+        with pytest.raises(ValueError):
+            fit_gnp(topology, num_landmarks=3, dim=6)
+        with pytest.raises(ValueError):
+            fit_gnp(topology, num_landmarks=100, dim=2, hosts=range(10))
+
+
+class TestEstimatedTopology:
+    def test_view_swaps_rtts_only(self, world):
+        topology, model = world
+        view = GnpEstimatedTopology(topology, model)
+        assert view.num_hosts == topology.num_hosts
+        assert view.rtt(1, 2) == model.estimated_rtt(1, 2)
+        assert view.access_rtt(1) == topology.access_rtt(1)
+
+    def test_centralized_assignment_over_gnp(self, world):
+        """The Section-5 extension end to end: the controller assigns
+        topology-aware IDs from coordinates alone."""
+        from repro import PAPER_SCHEME
+        from repro.experiments.common import CentralizedController
+
+        topology, model = world
+        view = GnpEstimatedTopology(topology, model)
+        controller = CentralizedController(PAPER_SCHEME, view, seed=3)
+        ids = {}
+        for host in range(40):
+            ids[host] = controller.join(host)
+        assert len(set(ids.values())) == 40
+        # same-site hosts should still share prefixes under estimates
+        same_site = [
+            (a, b)
+            for a in range(40)
+            for b in range(a + 1, 40)
+            if topology.host_site(a) == topology.host_site(b)
+        ]
+        if same_site:
+            shares = [ids[a].common_prefix_len(ids[b]) for a, b in same_site]
+            assert np.mean(shares) >= 1.0

@@ -1,0 +1,142 @@
+"""Tests for hypercube prefix routing and the Scribe-style baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alm.scribe import build_scribe_group, scribe_multicast
+from repro.core.hypercube import Route, rendezvous_member, route_toward
+from repro.core.ids import Id, IdScheme
+
+from .conftest import make_group
+from .test_tmesh import build_world
+
+
+class TestPrefixRouting:
+    def test_route_to_existing_member(self, gtitm, gtitm_group):
+        ids = sorted(gtitm_group.user_ids)
+        for src in ids[:6]:
+            for dst in ids[:6]:
+                route = route_toward(
+                    gtitm_group.records[src], dst, gtitm_group.tables
+                )
+                assert route.terminal.user_id == dst
+                assert route.num_hops <= gtitm_group.scheme.num_digits
+
+    def test_route_to_self_is_trivial(self, gtitm_group):
+        uid = next(iter(gtitm_group.user_ids))
+        route = route_toward(gtitm_group.records[uid], uid, gtitm_group.tables)
+        assert route.num_hops == 0
+        assert route.terminal.user_id == uid
+
+    def test_prefix_progress_every_hop(self, gtitm_group):
+        ids = sorted(gtitm_group.user_ids)
+        route = route_toward(
+            gtitm_group.records[ids[0]], ids[-1], gtitm_group.tables
+        )
+        shares = [
+            hop.user_id.common_prefix_len(ids[-1]) for hop in route.hops
+        ]
+        assert all(b > a for a, b in zip(shares, shares[1:]))
+
+    def test_rendezvous_is_member_independent(self, gtitm_group):
+        group_id = Id([9, 9, 9, 9, 9])
+        terminals = {
+            route_toward(
+                gtitm_group.records[uid], group_id, gtitm_group.tables
+            ).terminal.user_id
+            for uid in gtitm_group.user_ids
+        }
+        assert len(terminals) == 1
+        assert terminals == {rendezvous_member(group_id, gtitm_group.tables)}
+
+    def test_route_delay_accumulates(self, gtitm, gtitm_group):
+        ids = sorted(gtitm_group.user_ids)
+        route = route_toward(
+            gtitm_group.records[ids[0]], ids[-1], gtitm_group.tables
+        )
+        if route.num_hops:
+            assert route.total_delay(gtitm) > 0
+
+    @given(st.integers(0, 2000))
+    @settings(max_examples=15, deadline=None)
+    def test_routing_on_random_worlds(self, seed):
+        scheme = IdScheme(3, 4)
+        rng = np.random.default_rng(seed)
+        ids = [
+            Id(t)
+            for t in sorted(
+                {tuple(int(rng.integers(0, 4)) for _ in range(3)) for _ in range(20)}
+            )
+        ]
+        topology, records, tables, _ = build_world(scheme, ids, seed=seed)
+        by_id = {r.user_id: r for r in records}
+        src = ids[int(rng.integers(0, len(ids)))]
+        dst = ids[int(rng.integers(0, len(ids)))]
+        route = route_toward(by_id[src], dst, tables)
+        assert route.terminal.user_id == dst
+        # rendezvous convergence for an arbitrary (possibly absent) ID
+        target = Id(tuple(int(rng.integers(0, 4)) for _ in range(3)))
+        terminals = {
+            route_toward(by_id[uid], target, tables).terminal.user_id
+            for uid in ids
+        }
+        assert len(terminals) == 1
+
+
+class TestScribe:
+    @pytest.fixture(scope="class")
+    def scribe_world(self, gtitm, gtitm_group):
+        group_id = Id([3, 1, 4, 1, 5])
+        return gtitm, gtitm_group, build_scribe_group(group_id, gtitm_group.tables)
+
+    def test_tree_covers_all_members(self, scribe_world):
+        _, group, tree = scribe_world
+        assert set(tree.parent) == set(group.user_ids)
+        roots = [uid for uid, p in tree.parent.items() if p is None]
+        assert roots == [tree.root]
+
+    def test_parent_chains_reach_root(self, scribe_world):
+        _, group, tree = scribe_world
+        for uid in group.user_ids:
+            node, steps = uid, 0
+            while tree.parent[node] is not None:
+                node = tree.parent[node]
+                steps += 1
+                assert steps <= group.scheme.num_digits + 1
+            assert node == tree.root
+
+    def test_rekey_multicast_exactly_once(self, scribe_world):
+        topology, group, tree = scribe_world
+        session = scribe_multicast(tree, topology, server_host=48)
+        hosts = {group.records[uid].host for uid in group.user_ids}
+        assert set(session.arrival) == hosts
+        assert session.duplicate_copies == {}
+
+    def test_data_multicast_exactly_once(self, scribe_world):
+        topology, group, tree = scribe_world
+        sender = sorted(group.user_ids)[7]
+        session = scribe_multicast(
+            tree, topology, source_host=group.records[sender].host
+        )
+        hosts = {group.records[uid].host for uid in group.user_ids}
+        assert set(session.arrival) == hosts - {group.records[sender].host}
+        assert session.duplicate_copies == {}
+
+    def test_mode_validation(self, scribe_world):
+        topology, group, tree = scribe_world
+        with pytest.raises(ValueError):
+            scribe_multicast(tree, topology)
+        with pytest.raises(ValueError):
+            scribe_multicast(tree, topology, source_host=1, server_host=48)
+        with pytest.raises(ValueError):
+            scribe_multicast(tree, topology, source_host=99999)
+
+    def test_root_concentrates_stress(self, scribe_world):
+        """The lookup-oriented tree funnels everything through the
+        rendezvous — the structural property Section 2.6 warns about."""
+        topology, group, tree = scribe_world
+        session = scribe_multicast(tree, topology, server_host=48)
+        root_host = tree.host_of[tree.root]
+        stresses = {h: session.user_stress(h) for h in session.arrival}
+        assert stresses[root_host] == max(stresses.values())

@@ -1,0 +1,210 @@
+"""Tests for the Section-3.1 user ID assignment protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.id_assignment import (
+    IdAssigner,
+    PAPER_THRESHOLDS,
+    complete_user_id,
+)
+from repro.core.id_tree import IdTree
+from repro.core.ids import Id, IdScheme, NULL_ID
+from repro.core.neighbor_table import UserRecord
+from repro.net.planetlab import MatrixTopology
+
+SCHEME = IdScheme(num_digits=3, base=4)
+
+
+def cluster_topology(num_clusters=3, per_cluster=6, gap=200.0, lan=2.0):
+    """Hosts in well-separated latency clusters: intra-cluster RTT ~ lan,
+    inter-cluster ~ gap.  Perfect for testing the percentile rule."""
+    n = num_clusters * per_cluster
+    matrix = np.full((n, n), gap)
+    for c in range(num_clusters):
+        lo, hi = c * per_cluster, (c + 1) * per_cluster
+        matrix[lo:hi, lo:hi] = lan
+    np.fill_diagonal(matrix, 0.0)
+    return MatrixTopology(matrix, access_rtts=[0.5] * n), per_cluster
+
+
+class TestConstruction:
+    def test_threshold_count_must_match_d(self):
+        with pytest.raises(ValueError):
+            IdAssigner(SCHEME, (100.0,))  # needs D-1 = 2
+        IdAssigner(SCHEME, (100.0, 10.0))
+
+    def test_thresholds_positive(self):
+        with pytest.raises(ValueError):
+            IdAssigner(SCHEME, (100.0, 0.0))
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            IdAssigner(SCHEME, (100.0, 10.0), percentile=0)
+        with pytest.raises(ValueError):
+            IdAssigner(SCHEME, (100.0, 10.0), percentile=101)
+
+    def test_collect_target_positive(self):
+        with pytest.raises(ValueError):
+            IdAssigner(SCHEME, (100.0, 10.0), collect_target=0)
+
+    def test_paper_defaults(self):
+        assert PAPER_THRESHOLDS == (150.0, 30.0, 9.0, 3.0)
+
+
+class _OracleQuery:
+    """Query service answering from global knowledge of the population."""
+
+    def __init__(self, records):
+        self.records = records
+        self.queries = 0
+
+    def __call__(self, responder, prefix):
+        self.queries += 1
+        return [
+            r
+            for r in self.records
+            if prefix.is_prefix_of(r.user_id) and r.user_id != responder.user_id
+        ]
+
+
+class TestDigitDetermination:
+    def test_joiner_lands_near_its_cluster(self):
+        topology, per = cluster_topology()
+        # Population: cluster 0 users share prefix [0], cluster 1 share [1].
+        records = []
+        for c in range(2):
+            for i in range(per - 1):
+                uid = Id([c, i % SCHEME.base, 0])
+                records.append(UserRecord(uid, c * per + i, access_rtt=0.5))
+        assigner = IdAssigner(SCHEME, (50.0, 10.0))
+        query = _OracleQuery(records)
+        # A joiner from cluster 1 (host per+5) should pick digit 1.
+        outcome = assigner.determine_prefix(
+            per + per - 1, 0.5, topology, query, records[0]
+        )
+        assert len(outcome.determined_prefix) >= 1
+        assert outcome.determined_prefix[0] == 1
+
+    def test_far_joiner_stops_and_defers_to_server(self):
+        topology, per = cluster_topology(num_clusters=3)
+        records = [
+            UserRecord(Id([0, i, 0]), i, access_rtt=0.5) for i in range(per)
+        ]
+        assigner = IdAssigner(SCHEME, (50.0, 10.0))
+        query = _OracleQuery(records)
+        # Joiner in cluster 2: RTT ~200ms to everyone known -> above R1.
+        outcome = assigner.determine_prefix(
+            2 * per, 0.5, topology, query, records[0]
+        )
+        assert outcome.determined_prefix == NULL_ID
+        assert outcome.decisions[0].chosen is None
+
+    def test_percentile_rule_tolerates_outliers(self):
+        # One far-away user inside an otherwise close subtree must not
+        # veto the digit when F < 100 (the reason the paper avoids the
+        # 100-percentile).
+        n = 12
+        matrix = np.full((n, n), 5.0)
+        matrix[0, 1:] = matrix[1:, 0] = 500.0  # host 0 is an outlier
+        np.fill_diagonal(matrix, 0.0)
+        topology = MatrixTopology(matrix, access_rtts=[0.5] * n)
+        records = [
+            UserRecord(Id([0, i % 4, 0]), host, access_rtt=0.5)
+            for i, host in enumerate(range(n - 1))
+        ]
+        assigner = IdAssigner(SCHEME, (50.0, 10.0), percentile=90.0)
+        query = _OracleQuery(records)
+        outcome = assigner.determine_prefix(
+            n - 1, 0.5, topology, query, records[1]
+        )
+        assert outcome.determined_prefix[0] == 0
+
+    def test_queries_are_counted(self):
+        topology, per = cluster_topology()
+        records = [
+            UserRecord(Id([0, i % 4, 0]), i, access_rtt=0.5)
+            for i in range(per)
+        ]
+        assigner = IdAssigner(SCHEME, (50.0, 10.0))
+        query = _OracleQuery(records)
+        outcome = assigner.determine_prefix(1, 0.5, topology, query, records[0])
+        assert outcome.total_queries >= 1
+        assert query.queries == outcome.total_queries
+
+
+class TestServerCompletion:
+    def test_fresh_subtree_digit(self):
+        tree = IdTree(SCHEME, [Id([0, 0, 0]), Id([1, 0, 0])])
+        rng = np.random.default_rng(0)
+        uid = complete_user_id(tree, NULL_ID, rng)
+        SCHEME.validate_user_id(uid)
+        # the new user must start a fresh level-1 subtree
+        assert uid[0] not in (0, 1)
+
+    def test_full_prefix_gets_unique_last_digit(self):
+        tree = IdTree(SCHEME, [Id([2, 2, 0]), Id([2, 2, 1])])
+        uid = complete_user_id(tree, Id([2, 2]), np.random.default_rng(0))
+        assert uid.prefix(2) == Id([2, 2])
+        assert uid not in tree.user_ids
+
+    def test_footnote3_fallback_one_level(self):
+        # Every digit at position 1 under [3] taken -> modify position 0.
+        users = [Id([3, j, 0]) for j in range(SCHEME.base)]
+        tree = IdTree(SCHEME, users)
+        uid = complete_user_id(tree, Id([3]), np.random.default_rng(1))
+        assert uid not in tree.user_ids
+        # fell back to a fresh level-1 subtree
+        assert not tree.has_node(uid.prefix(1))
+
+    def test_unique_when_space_nearly_full(self):
+        scheme = IdScheme(2, 2)  # only 4 possible IDs
+        tree = IdTree(scheme, [Id([0, 0]), Id([0, 1]), Id([1, 0])])
+        uid = complete_user_id(tree, Id([1]), np.random.default_rng(2))
+        assert uid == Id([1, 1])
+
+    def test_exhausted_space_raises(self):
+        scheme = IdScheme(1, 2)
+        tree = IdTree(scheme, [Id([0]), Id([1])])
+        with pytest.raises(RuntimeError):
+            complete_user_id(tree, NULL_ID, np.random.default_rng(3))
+
+
+class TestEndToEndAssignment:
+    def test_ids_unique_across_many_joins(self, gtitm):
+        from .conftest import make_group
+
+        group = make_group(gtitm, 40, seed=11)
+        assert len(set(group.user_ids)) == 40
+
+    def test_same_stub_domain_users_share_prefixes(self, gtitm, gtitm_group):
+        """Topology-awareness: users behind the same stub domain should
+        share clearly more ID digits than random pairs would."""
+        from collections import defaultdict
+
+        by_domain = defaultdict(list)
+        for uid, rec in gtitm_group.records.items():
+            by_domain[gtitm.stub_domain_of_host(rec.host)].append(uid)
+        same, diff = [], []
+        ids = list(gtitm_group.user_ids)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                da = gtitm.stub_domain_of_host(gtitm_group.records[a].host)
+                db = gtitm.stub_domain_of_host(gtitm_group.records[b].host)
+                (same if da == db else diff).append(a.common_prefix_len(b))
+        if same:  # population may have singleton domains
+            assert np.mean(same) > np.mean(diff) + 0.5
+
+    def test_same_continent_users_share_first_digit(self, planetlab, planetlab_group):
+        agree = 0
+        total = 0
+        ids = list(planetlab_group.user_ids)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                ca = planetlab.host_continent(planetlab_group.records[a].host)
+                cb = planetlab.host_continent(planetlab_group.records[b].host)
+                if ca == cb and ca in ("asia", "australia"):
+                    total += 1
+                    agree += a[0] == b[0]
+        if total >= 5:
+            assert agree / total > 0.5

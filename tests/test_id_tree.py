@@ -1,0 +1,171 @@
+"""Tests for the ID tree (Definitions 1 and 2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.id_tree import IdTree
+from repro.core.ids import Id, IdScheme, NULL_ID
+
+SCHEME = IdScheme(num_digits=2, base=3)
+
+# The example group of Fig. 1: D=2 with users [0,0] [0,1] [2,0] [2,1] [2,2].
+FIG1_SCHEME = IdScheme(num_digits=2, base=3)
+FIG1_USERS = [Id([0, 0]), Id([0, 1]), Id([2, 0]), Id([2, 1]), Id([2, 2])]
+
+
+@pytest.fixture
+def fig1_tree():
+    return IdTree(FIG1_SCHEME, FIG1_USERS)
+
+
+class TestFig1Example:
+    """The paper's running example (Fig. 1)."""
+
+    def test_root_contains_everyone(self, fig1_tree):
+        assert fig1_tree.users_in_subtree(NULL_ID) == set(FIG1_USERS)
+
+    def test_level1_nodes(self, fig1_tree):
+        assert sorted(fig1_tree.nodes_at_level(1)) == [Id([0]), Id([2])]
+
+    def test_u3_u4_u5_in_u1s_02_subtree(self, fig1_tree):
+        # "users u3, u4, and u5 belong to u1's (0,2)-ID subtree"
+        u1 = Id([0, 0])
+        assert fig1_tree.ij_subtree_users(u1, 0, 2) == {
+            Id([2, 0]),
+            Id([2, 1]),
+            Id([2, 2]),
+        }
+
+    def test_u2_in_u1s_11_subtree(self, fig1_tree):
+        # "u2 belongs to u1's (1,1)-ID subtree"
+        assert fig1_tree.ij_subtree_users(Id([0, 0]), 1, 1) == {Id([0, 1])}
+
+    def test_empty_subtree(self, fig1_tree):
+        assert fig1_tree.ij_subtree_users(Id([0, 0]), 0, 1) == set()
+
+    def test_children_of_root(self, fig1_tree):
+        assert fig1_tree.children(NULL_ID) == [Id([0]), Id([2])]
+
+    def test_bottom_clusters_are_level_dminus1(self, fig1_tree):
+        clusters = fig1_tree.bottom_clusters()
+        assert set(clusters) == {Id([0]), Id([2])}
+        assert clusters[Id([2])] == {Id([2, 0]), Id([2, 1]), Id([2, 2])}
+
+
+class TestMutation:
+    def test_add_creates_path_nodes(self):
+        tree = IdTree(SCHEME)
+        tree.add_user(Id([1, 2]))
+        assert tree.has_node(NULL_ID)
+        assert tree.has_node(Id([1]))
+        assert tree.has_node(Id([1, 2]))
+        assert not tree.has_node(Id([2]))
+
+    def test_duplicate_add_rejected(self):
+        tree = IdTree(SCHEME, [Id([1, 2])])
+        with pytest.raises(ValueError):
+            tree.add_user(Id([1, 2]))
+
+    def test_remove_prunes_empty_branches(self):
+        tree = IdTree(SCHEME, [Id([1, 2]), Id([1, 0])])
+        tree.remove_user(Id([1, 2]))
+        assert not tree.has_node(Id([1, 2]))
+        assert tree.has_node(Id([1]))  # still holds [1,0]
+        tree.remove_user(Id([1, 0]))
+        assert not tree.has_node(Id([1]))
+        assert not tree.has_node(NULL_ID)  # tree fully empty
+
+    def test_remove_unknown_raises(self):
+        tree = IdTree(SCHEME)
+        with pytest.raises(KeyError):
+            tree.remove_user(Id([0, 0]))
+
+    def test_len_counts_users(self):
+        tree = IdTree(SCHEME, [Id([0, 0]), Id([2, 1])])
+        assert len(tree) == 2
+
+    def test_invalid_user_id_rejected(self):
+        tree = IdTree(SCHEME)
+        with pytest.raises(ValueError):
+            tree.add_user(Id([0]))  # not full length
+
+
+class TestSubtreeQueries:
+    def test_ij_subtree_root_definition(self):
+        # Definition 2: root is the level-i ancestor extended by j.
+        tree = IdTree(IdScheme(4, 5))
+        uid = Id([1, 2, 3, 4])
+        assert tree.ij_subtree_root(uid, 0, 2) == Id([2])
+        assert tree.ij_subtree_root(uid, 2, 0) == Id([1, 2, 0])
+
+    def test_ij_subtree_bounds(self):
+        tree = IdTree(SCHEME)
+        with pytest.raises(ValueError):
+            tree.ij_subtree_root(Id([0, 0]), 2, 0)  # i > D-1
+        with pytest.raises(ValueError):
+            tree.ij_subtree_root(Id([0, 0]), 0, 3)  # j >= B
+
+    def test_subtree_members_share_prefix_and_digit(self):
+        # Definition 2's consequence spelled out under the figure:
+        # members share the first i digits with u and have ID[i] == j.
+        tree = IdTree(
+            IdScheme(3, 3),
+            [Id([0, 1, 2]), Id([0, 1, 1]), Id([0, 2, 0]), Id([1, 0, 0])],
+        )
+        u = Id([0, 1, 2])
+        for w in tree.ij_subtree_users(u, 1, 2):
+            assert w.shares_prefix(u, 1)
+            assert w[1] == 2
+
+
+@st.composite
+def user_id_sets(draw):
+    scheme = IdScheme(3, 3)
+    ids = draw(
+        st.sets(
+            st.tuples(*[st.integers(0, 2)] * 3),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    return scheme, [Id(t) for t in ids]
+
+
+class TestProperties:
+    @given(user_id_sets())
+    @settings(max_examples=50)
+    def test_every_node_population_is_consistent(self, case):
+        scheme, ids = case
+        tree = IdTree(scheme, ids)
+        for node in tree.node_ids():
+            members = tree.users_in_subtree(node)
+            expected = {u for u in ids if node.is_prefix_of(u)}
+            assert members == expected
+            assert tree.subtree_size(node) == len(expected)
+
+    @given(user_id_sets())
+    @settings(max_examples=50)
+    def test_add_then_remove_everything_empties_tree(self, case):
+        scheme, ids = case
+        tree = IdTree(scheme)
+        for uid in ids:
+            tree.add_user(uid)
+        for uid in ids:
+            tree.remove_user(uid)
+        assert len(tree) == 0
+        assert tree.node_ids() == []
+
+    @given(user_id_sets())
+    @settings(max_examples=50)
+    def test_children_partition_subtree(self, case):
+        scheme, ids = case
+        tree = IdTree(scheme, ids)
+        for node in tree.node_ids():
+            if len(node) == scheme.num_digits:
+                continue
+            union = set()
+            for child in tree.children(node):
+                members = tree.users_in_subtree(child)
+                assert not (union & members)
+                union |= members
+            assert union == tree.users_in_subtree(node)

@@ -1,0 +1,158 @@
+"""Unit and property tests for the ID value types (Section 2.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ids import Id, IdScheme, NULL_ID, PAPER_SCHEME
+
+digits = st.lists(st.integers(min_value=0, max_value=255), max_size=8)
+
+
+class TestIdBasics:
+    def test_null_id_is_empty(self):
+        assert len(NULL_ID) == 0
+        assert NULL_ID.is_null
+        assert str(NULL_ID) == "[]"
+
+    def test_str_matches_paper_notation(self):
+        assert str(Id([0, 2])) == "[0,2]"
+
+    def test_digits_are_indexable(self):
+        uid = Id([3, 1, 4])
+        assert uid[0] == 3
+        assert uid[2] == 4
+        assert list(uid) == [3, 1, 4]
+
+    def test_slice_returns_id(self):
+        assert Id([3, 1, 4])[:2] == Id([3, 1])
+
+    def test_negative_digit_rejected(self):
+        with pytest.raises(ValueError):
+            Id([1, -2])
+
+    def test_equality_and_hash(self):
+        assert Id([1, 2]) == Id([1, 2])
+        assert Id([1, 2]) != Id([1, 2, 0])
+        assert len({Id([1, 2]), Id([1, 2]), Id([2, 1])}) == 2
+
+    def test_ordering_is_lexicographic(self):
+        assert Id([0, 1]) < Id([0, 2])
+        assert Id([0]) < Id([0, 0])
+
+    def test_parent(self):
+        assert Id([1, 2, 3]).parent() == Id([1, 2])
+
+    def test_parent_of_null_raises(self):
+        with pytest.raises(ValueError):
+            NULL_ID.parent()
+
+    def test_extend(self):
+        assert NULL_ID.extend(5) == Id([5])
+        assert Id([1]).extend(2) == Id([1, 2])
+
+
+class TestPrefixAlgebra:
+    def test_id_is_prefix_of_itself(self):
+        # "Note that an ID is a prefix of itself" (Section 2.1)
+        uid = Id([1, 2, 3])
+        assert uid.is_prefix_of(uid)
+
+    def test_null_is_prefix_of_everything(self):
+        # "a null string is a prefix of any ID"
+        assert NULL_ID.is_prefix_of(Id([9, 9]))
+        assert NULL_ID.is_prefix_of(NULL_ID)
+
+    def test_proper_prefix(self):
+        assert Id([1]).is_prefix_of(Id([1, 2]))
+        assert not Id([2]).is_prefix_of(Id([1, 2]))
+        assert not Id([1, 2, 3]).is_prefix_of(Id([1, 2]))
+
+    def test_prefix_negative_length_is_null(self):
+        # Table 1: u.ID[0:i] is a null string if i < 0.
+        assert Id([1, 2]).prefix(0) == NULL_ID
+        assert Id([1, 2]).prefix(-1) == NULL_ID
+
+    def test_prefix_lengths(self):
+        uid = Id([4, 5, 6])
+        assert uid.prefix(1) == Id([4])
+        assert uid.prefix(2) == Id([4, 5])
+        assert uid.prefix(3) == uid
+
+    def test_shares_prefix(self):
+        a, b = Id([1, 2, 3]), Id([1, 2, 9])
+        assert a.shares_prefix(b, 2)
+        assert not a.shares_prefix(b, 3)
+        assert a.shares_prefix(b, 0)
+
+    def test_common_prefix_len(self):
+        assert Id([1, 2, 3]).common_prefix_len(Id([1, 2, 9])) == 2
+        assert Id([5]).common_prefix_len(Id([6])) == 0
+        assert Id([7, 8]).common_prefix_len(Id([7, 8])) == 2
+
+    @given(digits, digits)
+    def test_prefix_of_is_antisymmetric_up_to_equality(self, a, b):
+        ida, idb = Id(a), Id(b)
+        if ida.is_prefix_of(idb) and idb.is_prefix_of(ida):
+            assert ida == idb
+
+    @given(digits, digits)
+    def test_common_prefix_is_mutual_prefix(self, a, b):
+        ida, idb = Id(a), Id(b)
+        n = ida.common_prefix_len(idb)
+        common = ida.prefix(n)
+        assert common.is_prefix_of(ida)
+        assert common.is_prefix_of(idb)
+        # maximality: one more digit no longer divides both
+        if n < min(len(ida), len(idb)):
+            assert ida[n] != idb[n]
+
+    @given(digits, st.integers(min_value=0, max_value=8))
+    def test_prefix_roundtrip(self, a, n):
+        ida = Id(a)
+        p = ida.prefix(n)
+        assert p.is_prefix_of(ida)
+        assert len(p) == min(n, len(ida))
+
+
+class TestIdScheme:
+    def test_paper_scheme(self):
+        assert PAPER_SCHEME.num_digits == 5
+        assert PAPER_SCHEME.base == 256
+
+    def test_validate_user_id(self):
+        scheme = IdScheme(3, 4)
+        scheme.validate_user_id(Id([0, 3, 2]))
+        with pytest.raises(ValueError):
+            scheme.validate_user_id(Id([0, 1]))  # too short
+        with pytest.raises(ValueError):
+            scheme.validate_user_id(Id([0, 1, 4]))  # digit out of base
+
+    def test_validate_prefix(self):
+        scheme = IdScheme(3, 4)
+        scheme.validate_prefix(NULL_ID)
+        scheme.validate_prefix(Id([3, 3, 3]))
+        with pytest.raises(ValueError):
+            scheme.validate_prefix(Id([0, 0, 0, 0]))
+
+    def test_first_user_id(self):
+        assert IdScheme(3, 4).first_user_id() == Id([0, 0, 0])
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IdScheme(0, 4)
+        with pytest.raises(ValueError):
+            IdScheme(3, 1)
+
+    def test_random_user_id_valid(self):
+        import numpy as np
+
+        scheme = IdScheme(4, 7)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            scheme.validate_user_id(scheme.random_user_id(rng))
+
+    def test_is_user_id(self):
+        scheme = IdScheme(2, 3)
+        assert scheme.is_user_id(Id([2, 2]))
+        assert not scheme.is_user_id(Id([2]))
+        assert not scheme.is_user_id(Id([3, 0]))

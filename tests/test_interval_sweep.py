@@ -1,0 +1,39 @@
+"""Unit tests for the batch-interval sweep driver."""
+
+import pytest
+
+from repro.experiments.interval_sweep import IntervalPoint, run_interval_sweep
+
+
+class TestIntervalSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, gtitm):
+        return run_interval_sweep(
+            num_users=40,
+            intervals=(16.0, 128.0),
+            rate_per_s=0.3,
+            horizon_s=512.0,
+            seed=2,
+            topology=gtitm,
+        )
+
+    def test_points_cover_requested_intervals(self, sweep):
+        assert [p.interval_s for p in sweep.points] == [16.0, 128.0]
+
+    def test_longer_intervals_batch_more_requests(self, sweep):
+        short, long = sweep.points
+        assert long.mean_requests_per_interval > short.mean_requests_per_interval
+
+    def test_amortization(self, sweep):
+        short, long = sweep.points
+        assert long.cost_per_request <= short.cost_per_request
+
+    def test_render(self, sweep):
+        text = sweep.render()
+        assert "Interval sweep" in text
+        assert "cost/request" in text
+
+    def test_costs_nonnegative(self, sweep):
+        for p in sweep.points:
+            assert p.mean_cost_per_interval >= 0
+            assert p.cost_per_request >= 0

@@ -1,0 +1,70 @@
+"""Tests for the IP-multicast (DVMRP-style) baseline."""
+
+import pytest
+
+from repro.alm.ipmulticast import (
+    ip_multicast_link_counts,
+    ip_multicast_session,
+    ip_multicast_tree_links,
+)
+
+
+class TestTree:
+    def test_tree_links_are_union_of_paths(self, gtitm):
+        receivers = list(range(10))
+        links = ip_multicast_tree_links(gtitm, 48, receivers)
+        per_path = set()
+        for host in receivers:
+            per_path.update(gtitm.path_links(48, host))
+        assert links == per_path
+
+    def test_shared_prefix_counted_once(self, gtitm):
+        """Two receivers behind the same stub share the path prefix; the
+        tree has fewer links than the sum of the two paths."""
+        # find two hosts in the same stub domain
+        domains = {}
+        pair = None
+        for h in range(48):
+            d = gtitm.stub_domain_of_host(h)
+            if d in domains:
+                pair = (domains[d], h)
+                break
+            domains[d] = h
+        if pair is None:
+            pytest.skip("no same-domain pair")
+        a, b = pair
+        tree = ip_multicast_tree_links(gtitm, 48, [a, b])
+        assert len(tree) <= len(gtitm.path_links(48, a)) + len(
+            gtitm.path_links(48, b)
+        )
+
+    def test_source_excluded(self, gtitm):
+        links = ip_multicast_tree_links(gtitm, 48, [48])
+        assert links == set()
+
+
+class TestSession:
+    def test_everyone_delivered_at_unicast_delay(self, gtitm):
+        receivers = list(range(12))
+        session = ip_multicast_session(gtitm, 48, receivers)
+        assert set(session.arrival) == set(receivers)
+        for host in receivers:
+            assert session.arrival[host] == pytest.approx(
+                gtitm.one_way_delay(48, host)
+            )
+            assert session.rdp(host, gtitm) == pytest.approx(1.0)
+
+    def test_users_do_no_forwarding(self, gtitm):
+        session = ip_multicast_session(gtitm, 48, list(range(12)))
+        for host in range(12):
+            assert session.user_stress(host) == 0
+
+
+class TestLinkCounts:
+    def test_each_tree_link_carries_message_once(self, gtitm):
+        receivers = list(range(12))
+        counts = ip_multicast_link_counts(gtitm, 48, receivers, message_size=100)
+        tree = ip_multicast_tree_links(gtitm, 48, receivers)
+        nonzero = {i for i, c in enumerate(counts.counts) if c > 0}
+        assert nonzero == tree
+        assert all(counts.counts[i] == 100 for i in tree)

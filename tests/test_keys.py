@@ -1,0 +1,62 @@
+"""Unit tests for the key/encryption value types (Section 2.4's
+identification scheme)."""
+
+import pytest
+
+from repro.core.ids import Id, NULL_ID
+from repro.keytree.keys import Encryption, RekeyMessage
+
+
+def enc(enc_digits, new_digits, versions=(0, 1)):
+    return Encryption(
+        Id(enc_digits), versions[0], Id(new_digits), versions[1]
+    )
+
+
+class TestEncryption:
+    def test_id_is_encrypting_key_id(self):
+        e = enc([1, 2], [1])
+        assert e.id == Id([1, 2])
+
+    def test_payload_ignored_in_equality(self):
+        a = Encryption(Id([1]), 0, NULL_ID, 1, payload=b"x")
+        b = Encryption(Id([1]), 0, NULL_ID, 1, payload=b"y")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_versions_distinguish(self):
+        assert enc([1], [], (0, 1)) != enc([1], [], (1, 2))
+
+    def test_needed_by_matches_lemma3(self):
+        e = enc([2, 0], [2])
+        assert e.needed_by(Id([2, 0, 5]))
+        assert not e.needed_by(Id([2, 1, 5]))
+
+    def test_root_key_needed_by_everyone(self):
+        e = enc([], [])
+        assert e.needed_by(Id([7, 7, 7]))
+
+
+class TestRekeyMessage:
+    def test_rekey_cost_counts_encryptions(self):
+        message = RekeyMessage(0, (enc([1], []), enc([2], [])))
+        assert message.rekey_cost == 2
+
+    def test_needed_by_filters(self):
+        message = RekeyMessage(
+            3, (enc([1], []), enc([2], []), enc([1, 0], [1]))
+        )
+        needed = message.needed_by(Id([1, 0, 9]))
+        assert [e.id for e in needed] == [Id([1]), Id([1, 0])]
+
+    def test_restricted_to_preserves_interval(self):
+        e1, e2 = enc([1], []), enc([2], [])
+        message = RekeyMessage(7, (e1, e2))
+        restricted = message.restricted_to([e2])
+        assert restricted.interval == 7
+        assert restricted.encryptions == (e2,)
+
+    def test_empty_message(self):
+        message = RekeyMessage(0, ())
+        assert message.rekey_cost == 0
+        assert message.needed_by(Id([0])) == ()

@@ -1,0 +1,162 @@
+"""Tests for group membership: joins, leaves, failures, table repair."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import check_k_consistency
+from repro.core.ids import Id, IdScheme
+from repro.core.tmesh import rekey_session
+
+from .conftest import SMALL_SCHEME, make_group
+
+
+class TestJoins:
+    def test_first_join_gets_all_zero_id(self, gtitm):
+        group = make_group(gtitm, 1, seed=0)
+        assert list(group.user_ids) == [Id([0] * 5)]
+
+    def test_join_returns_outcome_for_non_first(self, gtitm):
+        group = make_group(gtitm, 1, seed=0)
+        result = group.join(5)
+        assert result.outcome is not None
+        assert result.record.user_id in group.user_ids
+
+    def test_tables_k_consistent_after_joins(self, gtitm_group):
+        problems = check_k_consistency(
+            gtitm_group.tables, gtitm_group.id_tree, gtitm_group.k
+        )
+        assert problems == []
+
+    def test_server_table_tracks_level1_subtrees(self, gtitm_group):
+        digits_present = {uid[0] for uid in gtitm_group.user_ids}
+        table_digits = {
+            j for j in range(256) if gtitm_group.server_table.primary(0, j)
+        }
+        assert table_digits == digits_present
+
+    def test_records_carry_access_rtt(self, gtitm, gtitm_group):
+        for uid, rec in gtitm_group.records.items():
+            assert rec.access_rtt == pytest.approx(gtitm.access_rtt(rec.host))
+
+    def test_join_times_strictly_increase(self, gtitm_group):
+        times = sorted(r.join_time for r in gtitm_group.records.values())
+        assert len(set(times)) == len(times)
+
+
+class TestLeaves:
+    def test_leave_removes_user_everywhere(self, gtitm):
+        group = make_group(gtitm, 20, seed=3)
+        victim = list(group.user_ids)[5]
+        group.leave(victim)
+        assert victim not in group.user_ids
+        for table in group.tables.values():
+            assert not table.contains(victim)
+        assert not group.server_table.contains(victim)
+
+    def test_tables_repaired_after_leaves(self, gtitm):
+        group = make_group(gtitm, 24, seed=4)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            victim = list(group.user_ids)[int(rng.integers(0, group.num_users))]
+            group.leave(victim)
+        problems = check_k_consistency(group.tables, group.id_tree, group.k)
+        assert problems == []
+
+    def test_leave_unknown_raises(self, gtitm):
+        group = make_group(gtitm, 4, seed=5)
+        with pytest.raises(KeyError):
+            group.leave(Id([9, 9, 9, 9, 9]))
+
+    def test_multicast_still_exactly_once_after_churn(self, gtitm):
+        group = make_group(gtitm, 24, seed=6)
+        rng = np.random.default_rng(1)
+        for _ in range(8):
+            victim = list(group.user_ids)[int(rng.integers(0, group.num_users))]
+            group.leave(victim)
+        for host in range(24, 30):
+            group.join(host)
+        session = rekey_session(group.server_table, group.tables, gtitm)
+        assert set(session.receipts) == set(group.user_ids)
+        assert session.duplicate_copies == {}
+
+
+class TestFailures:
+    def test_fail_leaves_stale_records(self, gtitm):
+        group = make_group(gtitm, 16, seed=7)
+        victim = list(group.user_ids)[3]
+        group.fail(victim)
+        stale = sum(
+            1 for t in group.tables.values() if t.contains(victim)
+        )
+        assert stale > 0  # silent failure: others still remember it
+
+    def test_repair_tables_removes_stale_and_refills(self, gtitm):
+        group = make_group(gtitm, 20, seed=8)
+        victims = list(group.user_ids)[:4]
+        for v in victims:
+            group.fail(v)
+        removed = group.repair_tables()
+        assert removed > 0
+        problems = check_k_consistency(group.tables, group.id_tree, group.k)
+        assert problems == []
+
+    def test_k_greater_one_masks_single_failure(self, gtitm):
+        """With K=4 a failed primary still leaves backups in the entry, so
+        the entry is non-empty before any repair."""
+        group = make_group(gtitm, 24, seed=9, k=4)
+        # find an entry with >= 2 neighbors and fail its primary
+        for table in group.tables.values():
+            for i in range(5):
+                for j, primary in table.row_primaries(i):
+                    if len(table.entry(i, j)) >= 2:
+                        victim = primary.user_id
+                        if victim in group.user_ids:
+                            group.fail(victim)
+                            table.remove(victim)
+                            assert table.entry(i, j) != []
+                            return
+        pytest.skip("no multi-neighbor entry in this population")
+
+
+class TestRandomIdAblation:
+    def test_random_ids_ignore_topology(self, gtitm):
+        group = make_group(gtitm, 1, seed=10)
+        for host in range(1, 24):
+            group.random_id_join(host)
+        assert group.num_users == 24
+        problems = check_k_consistency(group.tables, group.id_tree, group.k)
+        assert problems == []
+
+
+class TestChurnProperty:
+    @given(st.integers(0, 1000))
+    @settings(max_examples=8, deadline=None)
+    def test_consistency_through_random_churn(self, seed):
+        from repro.net import TransitStubTopology, TransitStubParams
+
+        topology = TransitStubTopology(
+            num_hosts=33,
+            params=TransitStubParams(
+                transit_domains=2,
+                transit_per_domain=3,
+                stubs_per_transit=2,
+                stub_size=5,
+            ),
+            seed=1,
+        )
+        group = make_group(topology, 12, seed=seed)
+        rng = np.random.default_rng(seed)
+        next_host = 12
+        for _ in range(15):
+            if group.num_users > 2 and rng.random() < 0.5:
+                ids = list(group.user_ids)
+                group.leave(ids[int(rng.integers(0, len(ids)))])
+            elif next_host < 32:
+                group.join(next_host)
+                next_host += 1
+        problems = check_k_consistency(group.tables, group.id_tree, group.k)
+        assert problems == []
+        session = rekey_session(group.server_table, group.tables, topology)
+        assert set(session.receipts) == set(group.user_ids)
+        assert session.duplicate_copies == {}

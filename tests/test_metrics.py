@@ -1,0 +1,136 @@
+"""Tests for the metrics layer: stats helpers, latency and bandwidth
+accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.stats import inverse_cdf, ranked_across_runs, summarize
+
+
+class TestInverseCdf:
+    def test_basic(self):
+        cdf = inverse_cdf([3.0, 1.0, 2.0])
+        assert list(cdf.values) == [1.0, 2.0, 3.0]
+        assert list(cdf.fractions) == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_value_at_fraction(self):
+        cdf = inverse_cdf(range(1, 11))
+        assert cdf.value_at_fraction(0.5) == 5
+        assert cdf.value_at_fraction(1.0) == 10
+        assert cdf.value_at_fraction(0.05) == 1
+
+    def test_fraction_below(self):
+        cdf = inverse_cdf([1, 2, 3, 4])
+        assert cdf.fraction_below(2) == 0.5
+        assert cdf.fraction_below(0) == 0.0
+        assert cdf.fraction_below(99) == 1.0
+
+    def test_empty(self):
+        cdf = inverse_cdf([])
+        assert len(cdf.values) == 0
+
+    def test_fraction_bounds(self):
+        cdf = inverse_cdf([1.0])
+        with pytest.raises(ValueError):
+            cdf.value_at_fraction(0.0)
+        with pytest.raises(ValueError):
+            cdf.value_at_fraction(1.5)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    @settings(max_examples=30)
+    def test_monotone(self, values):
+        cdf = inverse_cdf(values)
+        assert all(np.diff(cdf.values) >= 0)
+        assert all(np.diff(cdf.fractions) > 0)
+
+
+class TestRankedRuns:
+    def test_per_rank_mean(self):
+        runs = [[1.0, 3.0], [3.0, 5.0]]
+        ranked = ranked_across_runs(runs)
+        assert list(ranked.mean) == [2.0, 4.0]
+        assert list(ranked.fractions) == [0.5, 1.0]
+
+    def test_runs_sorted_before_ranking(self):
+        # ranks are by sorted order within each run, not input order
+        ranked = ranked_across_runs([[5.0, 1.0]])
+        assert list(ranked.mean) == [1.0, 5.0]
+
+    def test_p95_bounds_mean(self):
+        rng = np.random.default_rng(0)
+        runs = [list(rng.uniform(0, 10, size=20)) for _ in range(10)]
+        ranked = ranked_across_runs(runs)
+        assert all(ranked.p95 >= ranked.mean - 1e-9)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ranked_across_runs([[1.0], [1.0, 2.0]])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ranked_across_runs([])
+
+
+class TestSummarize:
+    def test_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s["count"] == 4
+        assert s["min"] == 1.0
+        assert s["max"] == 4.0
+        assert s["median"] == 2.5
+
+    def test_empty(self):
+        assert summarize([]) == {"count": 0}
+
+
+class TestLatencyAccounting:
+    def test_tmesh_latency_covers_all_receivers(self, gtitm, gtitm_group):
+        from repro.core.tmesh import rekey_session
+        from repro.metrics.latency import tmesh_latency
+
+        session = rekey_session(gtitm_group.server_table, gtitm_group.tables, gtitm)
+        sample = tmesh_latency(session, gtitm)
+        n = len(session.receipts)
+        assert len(sample.stress) == len(sample.app_delay) == len(sample.rdp) == n
+        assert (sample.app_delay > 0).all()
+        assert (sample.rdp >= 1.0 - 1e-9).all()
+
+    def test_total_stress_equals_edges_minus_server(self, gtitm, gtitm_group):
+        from repro.core.ids import NULL_ID
+        from repro.core.tmesh import rekey_session
+        from repro.metrics.latency import tmesh_latency
+
+        session = rekey_session(gtitm_group.server_table, gtitm_group.tables, gtitm)
+        sample = tmesh_latency(session, gtitm)
+        server_edges = sum(1 for e in session.edges if e.src == NULL_ID)
+        assert sample.stress.sum() == len(session.edges) - server_edges
+
+
+class TestBandwidthAccounting:
+    def test_alm_split_conserves_needs(self, planetlab):
+        """Every host's received set must cover what it needs."""
+        from repro.alm.nice import NiceHierarchy, nice_multicast
+        from repro.metrics.bandwidth import alm_split_bandwidth
+
+        h = NiceHierarchy(planetlab)
+        for host in range(20):
+            h.join(host)
+        session = nice_multicast(h, planetlab, server_host=48)
+        needed = {host: {host % 7, 7 + host % 3} for host in range(20)}
+        sample = alm_split_bandwidth(session, needed, total_encryptions=10)
+        hosts = sorted(session.arrival)
+        for i, host in enumerate(hosts):
+            assert sample.received[i] >= len(needed[host])
+
+    def test_alm_unsplit_uniform(self, planetlab):
+        from repro.alm.nice import NiceHierarchy, nice_multicast
+        from repro.metrics.bandwidth import alm_unsplit_bandwidth
+
+        h = NiceHierarchy(planetlab)
+        for host in range(15):
+            h.join(host)
+        session = nice_multicast(h, planetlab, server_host=48)
+        sample = alm_unsplit_bandwidth(session, message_size=50)
+        assert (sample.received == 50).all()
+        assert sample.forwarded.sum() == 50 * len(session.edges) - 50  # server edge

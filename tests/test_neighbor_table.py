@@ -1,0 +1,177 @@
+"""Tests for neighbor tables and K-consistency (Section 2.2, Def. 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.id_tree import IdTree
+from repro.core.ids import Id, IdScheme, NULL_ID
+from repro.core.neighbor_table import (
+    NeighborTable,
+    UserRecord,
+    build_consistent_tables,
+    build_server_table,
+    check_k_consistency,
+)
+
+SCHEME = IdScheme(num_digits=3, base=4)
+
+
+def rec(digits, host):
+    return UserRecord(Id(digits), host)
+
+
+@pytest.fixture
+def owner_table():
+    return NeighborTable(SCHEME, rec([1, 2, 3], 0), k=2)
+
+
+class TestSlotPlacement:
+    def test_slot_is_common_prefix_row(self, owner_table):
+        # (i, w.ID[i]) where i = longest common prefix length (Def. 3).
+        assert owner_table.slot_for(rec([0, 0, 0], 1)) == (0, 0)
+        assert owner_table.slot_for(rec([1, 0, 0], 2)) == (1, 0)
+        assert owner_table.slot_for(rec([1, 2, 0], 3)) == (2, 0)
+
+    def test_own_id_has_no_slot(self, owner_table):
+        assert owner_table.slot_for(rec([1, 2, 3], 9)) is None
+
+    def test_own_digit_entry_stays_empty(self, owner_table):
+        # Def. 3 (1): if j == u.ID[i], the (i,j)-entry is empty — records
+        # with that digit land in a deeper row instead.
+        owner_table.insert(rec([1, 0, 0], 1), 10.0)
+        assert owner_table.entry(0, 1) == []
+        assert [r.user_id for r in owner_table.entry(1, 0)] == [Id([1, 0, 0])]
+
+
+class TestInsertRemove:
+    def test_insert_sorted_by_rtt(self, owner_table):
+        owner_table.insert(rec([0, 0, 0], 1), 30.0)
+        owner_table.insert(rec([0, 1, 0], 2), 10.0)
+        assert [r.host for r in owner_table.entry(0, 0)] == [2, 1]
+        assert owner_table.primary(0, 0).host == 2
+        assert owner_table.entry_rtts(0, 0) == [10.0, 30.0]
+
+    def test_insert_respects_k(self, owner_table):
+        owner_table.insert(rec([0, 0, 0], 1), 30.0)
+        owner_table.insert(rec([0, 1, 0], 2), 10.0)
+        changed = owner_table.insert(rec([0, 2, 0], 3), 20.0)  # evicts host 1
+        assert changed
+        assert [r.host for r in owner_table.entry(0, 0)] == [2, 3]
+
+    def test_insert_worse_than_k_is_noop(self, owner_table):
+        owner_table.insert(rec([0, 0, 0], 1), 10.0)
+        owner_table.insert(rec([0, 1, 0], 2), 20.0)
+        changed = owner_table.insert(rec([0, 2, 0], 3), 99.0)
+        assert not changed
+        assert [r.host for r in owner_table.entry(0, 0)] == [1, 2]
+
+    def test_duplicate_user_rejected(self, owner_table):
+        assert owner_table.insert(rec([0, 0, 0], 1), 10.0)
+        assert not owner_table.insert(rec([0, 0, 0], 1), 5.0)
+        assert len(owner_table.entry(0, 0)) == 1
+
+    def test_remove(self, owner_table):
+        owner_table.insert(rec([0, 0, 0], 1), 10.0)
+        assert owner_table.remove(Id([0, 0, 0]))
+        assert owner_table.entry(0, 0) == []
+        assert not owner_table.remove(Id([0, 0, 0]))
+
+    def test_contains_and_iteration(self, owner_table):
+        owner_table.insert(rec([0, 0, 0], 1), 10.0)
+        owner_table.insert(rec([1, 0, 0], 2), 10.0)
+        assert owner_table.contains(Id([0, 0, 0]))
+        assert owner_table.num_neighbors() == 2
+        assert {r.host for r in owner_table.all_records()} == {1, 2}
+
+    def test_row_primaries(self, owner_table):
+        owner_table.insert(rec([0, 0, 0], 1), 10.0)
+        owner_table.insert(rec([2, 0, 0], 2), 10.0)
+        assert [(j, r.host) for j, r in owner_table.row_primaries(0)] == [
+            (0, 1),
+            (2, 2),
+        ]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            NeighborTable(SCHEME, rec([0, 0, 0], 0), k=0)
+
+    def test_bad_slot_indices(self, owner_table):
+        with pytest.raises(IndexError):
+            owner_table.entry(3, 0)
+        with pytest.raises(IndexError):
+            owner_table.entry(0, 4)
+
+
+class TestServerTable:
+    def test_single_row(self):
+        table = NeighborTable(SCHEME, UserRecord(NULL_ID, 99), k=2)
+        assert table.is_server_table
+        assert table.num_rows == 1
+
+    def test_entries_keyed_by_first_digit(self):
+        # Section 2.2: the (0,j)-entry holds the K users closest to the
+        # server among those whose IDs start with digit j.
+        records = [rec([0, 0, 0], 0), rec([0, 1, 0], 1), rec([2, 0, 0], 2)]
+        rtts = {0: 30.0, 1: 10.0, 2: 5.0}
+        table = build_server_table(
+            SCHEME, 99, records, lambda s, h: rtts[h], k=1
+        )
+        assert table.primary(0, 0).host == 1  # closest of the two 0-prefix
+        assert table.primary(0, 2).host == 2
+        assert table.primary(0, 1) is None
+
+
+def _random_population(rng, n):
+    ids = set()
+    while len(ids) < n:
+        ids.add(tuple(int(rng.integers(0, SCHEME.base)) for _ in range(3)))
+    return [UserRecord(Id(t), i) for i, t in enumerate(sorted(ids))]
+
+
+class TestConsistency:
+    def test_oracle_tables_are_k_consistent(self):
+        rng = np.random.default_rng(1)
+        records = _random_population(rng, 20)
+        rtt = lambda a, b: abs(a - b) + 1.0
+        tables = build_consistent_tables(SCHEME, records, rtt, k=2)
+        tree = IdTree(SCHEME, [r.user_id for r in records])
+        assert check_k_consistency(tables, tree, 2) == []
+
+    def test_checker_flags_missing_neighbor(self):
+        rng = np.random.default_rng(2)
+        records = _random_population(rng, 12)
+        rtt = lambda a, b: 1.0
+        tables = build_consistent_tables(SCHEME, records, rtt, k=1)
+        tree = IdTree(SCHEME, [r.user_id for r in records])
+        # break one table
+        victim = records[0].user_id
+        other = next(iter(tables[victim].all_records()))
+        tables[victim].remove(other.user_id)
+        problems = check_k_consistency(tables, tree, 1)
+        assert problems and str(victim) in problems[0]
+
+    def test_checker_flags_foreign_record(self):
+        records = [rec([0, 0, 0], 0), rec([1, 0, 0], 1), rec([2, 0, 0], 2)]
+        tables = build_consistent_tables(
+            SCHEME, records, lambda a, b: 1.0, k=1
+        )
+        tree = IdTree(SCHEME, [r.user_id for r in records])
+        # smuggle a wrong-subtree record directly into an entry
+        table = tables[Id([0, 0, 0])]
+        entry = table._entries[(0, 1)]
+        entry.neighbors.append((0.5, rec([2, 0, 0], 2)))
+        problems = check_k_consistency(tables, tree, 1)
+        assert any("outside subtree" in p or "neighbors" in p for p in problems)
+
+    @given(st.integers(min_value=2, max_value=25), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_oracle_consistency_property(self, n, seed):
+        rng = np.random.default_rng(seed)
+        records = _random_population(rng, n)
+        hosts = {r.host: rng.uniform(0, 100, size=2) for r in records}
+        rtt = lambda a, b: float(np.linalg.norm(hosts[a] - hosts[b])) + 0.1
+        for k in (1, 3):
+            tables = build_consistent_tables(SCHEME, records, rtt, k=k)
+            tree = IdTree(SCHEME, [r.user_id for r in records])
+            assert check_k_consistency(tables, tree, k) == []

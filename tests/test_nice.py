@@ -1,0 +1,176 @@
+"""Tests for the NICE baseline: hierarchy invariants, churn, delivery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alm.nice import NiceHierarchy, nice_multicast
+from repro.net.planetlab import MatrixTopology, PlanetLabTopology
+
+
+def geometric_topology(n, seed=0):
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(0, 100, size=(n, 2))
+    m = np.sqrt(((pts[:, None] - pts[None, :]) ** 2).sum(axis=2))
+    m = (m + m.T) / 2
+    np.fill_diagonal(m, 0.0)
+    return MatrixTopology(m + np.where(m > 0, 0.5, 0.0))
+
+
+class TestJoins:
+    def test_single_host(self):
+        h = NiceHierarchy(geometric_topology(2))
+        h.join(0)
+        assert h.root == 0
+        assert h.check_invariants() == []
+
+    def test_duplicate_join_rejected(self):
+        h = NiceHierarchy(geometric_topology(2))
+        h.join(0)
+        with pytest.raises(ValueError):
+            h.join(0)
+
+    def test_k_must_be_at_least_2(self):
+        with pytest.raises(ValueError):
+            NiceHierarchy(geometric_topology(2), k=1)
+
+    def test_cluster_sizes_bounded_after_joins(self):
+        topo = geometric_topology(80, seed=1)
+        h = NiceHierarchy(topo, k=3)
+        for host in range(80):
+            h.join(host)
+        sizes = [len(c.members) for c in h.layers[0]]
+        assert max(sizes) <= 8  # 3k-1
+        assert min(sizes) >= 3 or len(h.layers[0]) == 1
+
+    def test_invariants_through_joins(self):
+        topo = geometric_topology(50, seed=2)
+        h = NiceHierarchy(topo)
+        for host in range(50):
+            h.join(host)
+            assert h.check_invariants() == [], f"after join {host}"
+
+    def test_leaders_are_cluster_centers(self):
+        topo = geometric_topology(40, seed=3)
+        h = NiceHierarchy(topo)
+        for host in range(40):
+            h.join(host)
+        for cluster in h.layers[0]:
+            members = sorted(cluster.members)
+            radii = {
+                m: max(topo.rtt(m, o) for o in members if o != m)
+                for m in members
+            }
+            assert radii[cluster.leader] == min(radii.values())
+
+
+class TestLeaves:
+    def test_invariants_through_leaves(self):
+        topo = geometric_topology(60, seed=4)
+        h = NiceHierarchy(topo)
+        for host in range(60):
+            h.join(host)
+        rng = np.random.default_rng(0)
+        order = list(rng.permutation(60))
+        for host in order[:55]:
+            h.leave(int(host))
+            assert h.check_invariants() == [], f"after leave {host}"
+        assert len(h.hosts) == 5
+
+    def test_leave_unknown_raises(self):
+        h = NiceHierarchy(geometric_topology(3))
+        h.join(0)
+        with pytest.raises(KeyError):
+            h.leave(1)
+
+    def test_root_leave_elects_new_root(self):
+        topo = geometric_topology(30, seed=5)
+        h = NiceHierarchy(topo)
+        for host in range(30):
+            h.join(host)
+        old_root = h.root
+        h.leave(old_root)
+        assert h.check_invariants() == []
+        assert h.root != old_root
+        assert old_root not in h.hosts
+
+    @given(st.integers(0, 10_000), st.integers(5, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_random_churn_property(self, seed, n):
+        topo = geometric_topology(n, seed=seed % 100)
+        h = NiceHierarchy(topo)
+        rng = np.random.default_rng(seed)
+        joined = set()
+        next_host = 0
+        for _ in range(3 * n):
+            if joined and rng.random() < 0.4:
+                victim = list(joined)[int(rng.integers(0, len(joined)))]
+                h.leave(victim)
+                joined.remove(victim)
+            elif next_host < n:
+                h.join(next_host)
+                joined.add(next_host)
+                next_host += 1
+        if joined:
+            assert h.check_invariants() == []
+            assert h.hosts == joined
+
+
+class TestDelivery:
+    @pytest.fixture(scope="class")
+    def world(self):
+        topo = PlanetLabTopology(num_hosts=61, seed=6)
+        h = NiceHierarchy(topo)
+        for host in range(60):
+            h.join(host)
+        return topo, h
+
+    def test_rekey_reaches_everyone_once(self, world):
+        topo, h = world
+        session = nice_multicast(h, topo, server_host=60)
+        assert set(session.arrival) == set(range(60))
+        assert session.duplicate_copies == {}
+
+    def test_rekey_enters_via_root(self, world):
+        topo, h = world
+        session = nice_multicast(h, topo, server_host=60)
+        assert session.upstream[h.root] == 60
+        first_edge = session.edges[0]
+        assert (first_edge.src_host, first_edge.dst_host) == (60, h.root)
+
+    def test_data_reaches_everyone_once(self, world):
+        topo, h = world
+        session = nice_multicast(h, topo, source_host=7)
+        assert set(session.arrival) == set(range(60)) - {7}
+        assert session.duplicate_copies == {}
+
+    def test_data_enters_via_local_leader(self, world):
+        topo, h = world
+        source = 7
+        local = h.cluster_of[0][source]
+        session = nice_multicast(h, topo, source_host=source)
+        if local.leader != source:
+            assert session.edges[0].dst_host == local.leader
+
+    def test_exactly_one_source_required(self, world):
+        topo, h = world
+        with pytest.raises(ValueError):
+            nice_multicast(h, topo)
+        with pytest.raises(ValueError):
+            nice_multicast(h, topo, source_host=1, server_host=60)
+
+    def test_leaders_carry_the_stress(self, world):
+        """NICE concentrates forwarding on leaders — non-leaders forward
+        at most to their own clusters."""
+        topo, h = world
+        session = nice_multicast(h, topo, server_host=60)
+        stresses = {host: session.user_stress(host) for host in session.arrival}
+        max_host = max(stresses, key=stresses.get)
+        # the most stressed host must be a multi-layer member (a leader)
+        assert len(h.clusters_containing(max_host)) >= 2
+
+    def test_downstream_hosts_partition(self, world):
+        topo, h = world
+        session = nice_multicast(h, topo, server_host=60)
+        below_root = set(session.downstream_hosts(h.root))
+        assert below_root == set(session.arrival) - {h.root}

@@ -1,0 +1,60 @@
+"""Tests for packet-level splitting (the Section-2.5 alternative)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.splitting import (
+    run_packet_split_rekey,
+    run_split_rekey,
+    run_unsplit_rekey,
+)
+from repro.core.tmesh import rekey_session
+
+from .test_splitting import _random_world
+
+
+class TestPacketSplit:
+    def test_packet_size_one_equals_encryption_level(self):
+        topology, ids, tables, server_table, message = _random_world(3)
+        session = rekey_session(server_table, tables, topology)
+        per_enc = run_split_rekey(session, message)
+        per_packet = run_packet_split_rekey(session, message, packet_size=1)
+        assert per_packet.received == per_enc.received
+        assert per_packet.forwarded == per_enc.forwarded
+
+    def test_everyone_still_gets_needed_encryptions(self):
+        topology, ids, tables, server_table, message = _random_world(5)
+        session = rekey_session(server_table, tables, topology)
+        result = run_packet_split_rekey(session, message, packet_size=4)
+        per_enc = run_split_rekey(session, message)
+        # packet granularity can only add encryptions, never drop them
+        for uid in session.receipts:
+            assert result.received.get(uid, 0) >= per_enc.received.get(uid, 0)
+
+    def test_bounded_by_full_message(self):
+        topology, ids, tables, server_table, message = _random_world(7)
+        session = rekey_session(server_table, tables, topology)
+        result = run_packet_split_rekey(session, message, packet_size=8)
+        unsplit = run_unsplit_rekey(session, message.rekey_cost)
+        for uid in session.receipts:
+            assert result.received.get(uid, 0) <= unsplit.received[uid]
+
+    def test_invalid_packet_size(self):
+        topology, ids, tables, server_table, message = _random_world(9)
+        session = rekey_session(server_table, tables, topology)
+        with pytest.raises(ValueError):
+            run_packet_split_rekey(session, message, packet_size=0)
+
+    @given(st.integers(0, 200), st.integers(1, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_monotone_between_granularities(self, seed, packet_size):
+        """encryption-level <= packet-level <= flooded, per user."""
+        topology, ids, tables, server_table, message = _random_world(seed)
+        session = rekey_session(server_table, tables, topology)
+        per_enc = run_split_rekey(session, message)
+        per_packet = run_packet_split_rekey(session, message, packet_size)
+        for uid in session.receipts:
+            low = per_enc.received.get(uid, 0)
+            mid = per_packet.received.get(uid, 0)
+            assert low <= mid <= message.rekey_cost

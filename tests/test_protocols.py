@@ -1,0 +1,63 @@
+"""Tests for the Table-2 protocol definitions."""
+
+import pytest
+
+from repro.core.protocols import PROTOCOLS, SPLITTING_PAIRS, RekeyProtocol
+
+
+class TestTable2:
+    def test_seven_protocols(self):
+        assert len(PROTOCOLS) == 7
+        assert set(PROTOCOLS) == {"P0", "P0'", "P1", "P1'", "P2", "P3", "P4"}
+
+    def test_nice_protocols_use_original_tree(self):
+        assert PROTOCOLS["P0'"].key_tree == "original"
+        assert PROTOCOLS["P1'"].key_tree == "original"
+        assert PROTOCOLS["P0'"].multicast == "nice"
+        assert not PROTOCOLS["P0'"].splitting
+        assert PROTOCOLS["P1'"].splitting
+
+    def test_tmesh_protocols_use_modified_tree(self):
+        for name in ("P1", "P2", "P3", "P4"):
+            assert PROTOCOLS[name].key_tree == "modified"
+            assert PROTOCOLS[name].multicast == "tmesh"
+        assert PROTOCOLS["P1"].cluster_rekeying is False
+        assert PROTOCOLS["P2"].cluster_rekeying is False
+        assert PROTOCOLS["P3"].cluster_rekeying is True
+        assert PROTOCOLS["P4"].cluster_rekeying is True
+        assert not PROTOCOLS["P1"].splitting
+        assert PROTOCOLS["P2"].splitting
+        assert not PROTOCOLS["P3"].splitting
+        assert PROTOCOLS["P4"].splitting
+
+    def test_ip_multicast_protocol(self):
+        p0 = PROTOCOLS["P0"]
+        assert (p0.key_tree, p0.multicast, p0.splitting) == (
+            "original",
+            "ip",
+            False,
+        )
+
+    def test_splitting_pairs_differ_only_in_splitting(self):
+        for unsplit, split in SPLITTING_PAIRS:
+            a, b = PROTOCOLS[unsplit], PROTOCOLS[split]
+            assert not a.splitting and b.splitting
+            assert a.key_tree == b.key_tree
+            assert a.multicast == b.multicast
+            assert a.cluster_rekeying == b.cluster_rekeying
+
+
+class TestValidation:
+    def test_unknown_tree_rejected(self):
+        with pytest.raises(ValueError):
+            RekeyProtocol("x", "magic", "tmesh", False, True)
+
+    def test_unknown_multicast_rejected(self):
+        with pytest.raises(ValueError):
+            RekeyProtocol("x", "original", "smoke-signals", None, False)
+
+    def test_cluster_only_for_tmesh(self):
+        with pytest.raises(ValueError):
+            RekeyProtocol("x", "original", "nice", True, False)
+        with pytest.raises(ValueError):
+            RekeyProtocol("x", "modified", "tmesh", None, False)

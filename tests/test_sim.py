@@ -1,0 +1,147 @@
+"""Tests for the discrete event simulator and message-passing nodes."""
+
+import pytest
+
+from repro.net.planetlab import MatrixTopology
+from repro.sim import Network, Node, Simulator
+
+import numpy as np
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(5.0, lambda: log.append("b"))
+        sim.schedule(1.0, lambda: log.append("a"))
+        sim.schedule(9.0, lambda: log.append("c"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_simultaneous_events_fifo(self):
+        sim = Simulator()
+        log = []
+        for i in range(5):
+            sim.schedule(1.0, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        event = sim.schedule(1.0, lambda: log.append("x"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_run_until(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(1.0, lambda: log.append(1))
+        sim.schedule(10.0, lambda: log.append(10))
+        sim.run(until=5.0)
+        assert log == [1]
+        assert sim.now == 5.0
+        sim.run()
+        assert log == [1, 10]
+
+    def test_max_events(self):
+        sim = Simulator()
+        log = []
+        for i in range(10):
+            sim.schedule(i, lambda i=i: log.append(i))
+        sim.run(max_events=3)
+        assert log == [0, 1, 2]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+
+        def first():
+            log.append(("first", sim.now))
+            sim.schedule(2.0, lambda: log.append(("second", sim.now)))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: sim.schedule(-1.0, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_pending_and_processed_counts(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        e = sim.schedule(2.0, lambda: None)
+        e.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.events_processed == 1
+
+
+class EchoNode(Node):
+    def __init__(self, network, host):
+        super().__init__(network, host)
+        self.inbox = []
+
+    def on_message(self, src, payload):
+        self.inbox.append((src, payload, self.network.simulator.now))
+        if payload == "ping":
+            self.send(src, "pong")
+
+
+def star_topology():
+    m = np.array([[0.0, 10.0], [10.0, 0.0]])
+    return MatrixTopology(m)
+
+
+class TestNetwork:
+    def test_delivery_after_one_way_delay(self):
+        sim = Simulator()
+        net = Network(sim, star_topology())
+        a, b = EchoNode(net, 0), EchoNode(net, 1)
+        a.send(1, "hello")
+        sim.run()
+        assert b.inbox == [(0, "hello", 5.0)]  # one-way = rtt/2
+
+    def test_request_response(self):
+        sim = Simulator()
+        net = Network(sim, star_topology())
+        a, b = EchoNode(net, 0), EchoNode(net, 1)
+        a.send(1, "ping")
+        sim.run()
+        assert a.inbox == [(1, "pong", 10.0)]
+
+    def test_detach_drops_messages(self):
+        sim = Simulator()
+        net = Network(sim, star_topology())
+        a, b = EchoNode(net, 0), EchoNode(net, 1)
+        b.detach()
+        a.send(1, "lost")
+        sim.run()
+        assert b.inbox == []
+        assert net.stats.dropped == 1
+
+    def test_drop_filter(self):
+        sim = Simulator()
+        net = Network(sim, star_topology())
+        a, b = EchoNode(net, 0), EchoNode(net, 1)
+        net.drop_filter = lambda src, dst, payload: payload == "bad"
+        a.send(1, "bad")
+        a.send(1, "good")
+        sim.run()
+        assert [p for _, p, _ in b.inbox] == ["good"]
+        assert net.stats.dropped == 1
+        assert net.stats.delivered == 1
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        net = Network(sim, star_topology())
+        EchoNode(net, 0)
+        with pytest.raises(ValueError):
+            EchoNode(net, 0)

@@ -1,0 +1,191 @@
+"""Tests for the rekey message splitting scheme: Lemma 3, Theorem 2's
+predicate, and Corollary 1 (exact delivery of needed encryptions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ids import Id, IdScheme
+from repro.core.splitting import (
+    next_hop_needs,
+    run_split_rekey,
+    run_unsplit_rekey,
+    split_for_next_hop,
+)
+from repro.core.tmesh import rekey_session
+from repro.keytree.keys import Encryption, RekeyMessage
+from repro.keytree.modified_tree import ModifiedKeyTree
+
+from .test_tmesh import build_world
+
+
+def enc(digits):
+    """A counting-mode encryption whose ID is the given digit string."""
+    return Encryption(Id(digits), 0, Id(digits[:-1]) if digits else Id(()), 1)
+
+
+class TestLemma3:
+    """A user needs an encryption iff its ID is a prefix of the user's."""
+
+    def test_prefix_means_needed(self):
+        assert enc([1]).needed_by(Id([1, 2, 3]))
+        assert enc([1, 2, 3]).needed_by(Id([1, 2, 3]))
+        assert enc([]).needed_by(Id([1, 2, 3]))
+
+    def test_non_prefix_not_needed(self):
+        assert not enc([2]).needed_by(Id([1, 2, 3]))
+        assert not enc([1, 2, 3, 0]).needed_by(Id([1, 2, 3]))
+
+    def test_rekey_message_needed_by(self):
+        message = RekeyMessage(0, (enc([1]), enc([2]), enc([1, 2])))
+        needed = message.needed_by(Id([1, 2, 9]))
+        assert [e.id for e in needed] == [Id([1]), Id([1, 2])]
+
+
+class TestTheorem2Predicate:
+    def test_encryption_above_hop_prefix(self):
+        # e.ID=[1] is a prefix of w.ID[0:1]=[1,2] -> forward
+        assert next_hop_needs(Id([1]), Id([1, 2, 3]), send_level=1)
+
+    def test_encryption_below_hop_prefix(self):
+        # w.ID[0:0]=[1] is a prefix of e.ID=[1,2,3] -> forward
+        assert next_hop_needs(Id([1, 2, 3]), Id([1, 9, 9]), send_level=0)
+
+    def test_disjoint_branches_not_forwarded(self):
+        assert not next_hop_needs(Id([2, 0]), Id([1, 2, 3]), send_level=1)
+
+    def test_sibling_subtree_cut_off(self):
+        # hop prefix [1,2]; encryption [1,3] diverges at digit 1
+        assert not next_hop_needs(Id([1, 3]), Id([1, 2, 3]), send_level=1)
+
+    def test_split_for_next_hop_filters(self):
+        pool = [enc([1]), enc([1, 2]), enc([1, 3]), enc([2])]
+        kept = split_for_next_hop(pool, Id([1, 2, 0]), send_level=1)
+        assert [e.id for e in kept] == [Id([1]), Id([1, 2])]
+
+    @given(
+        st.lists(st.integers(0, 3), min_size=3, max_size=3),
+        st.lists(st.integers(0, 3), max_size=3),
+        st.integers(0, 2),
+    )
+    def test_predicate_matches_subtree_semantics(self, hop, enc_digits, s):
+        """Brute-force check of Theorem 2: the predicate holds iff some
+        *possible* user ID under the hop's level-(s+1) subtree needs the
+        encryption per Lemma 3."""
+        scheme = IdScheme(3, 4)
+        hop_id, enc_id = Id(hop), Id(enc_digits)
+        prefix = hop_id.prefix(s + 1)
+        # enumerate all user IDs in the subtree
+        needed_somewhere = False
+        digits_left = scheme.num_digits - len(prefix)
+        for suffix in np.ndindex(*([scheme.base] * digits_left)):
+            uid = Id(prefix.digits + tuple(int(x) for x in suffix))
+            if enc_id.is_prefix_of(uid):
+                needed_somewhere = True
+                break
+        assert next_hop_needs(enc_id, hop_id, s) == needed_somewhere
+
+
+def _random_world(seed, n=30):
+    scheme = IdScheme(3, 4)
+    rng = np.random.default_rng(seed)
+    ids = [
+        Id(t)
+        for t in sorted(
+            {tuple(int(rng.integers(0, 4)) for _ in range(3)) for _ in range(n)}
+        )
+    ]
+    topology, _, tables, server_table = build_world(scheme, ids, seed=seed)
+    tree = ModifiedKeyTree(scheme)
+    for uid in ids:
+        tree.request_join(uid)
+    tree.process_batch()
+    # churn a little so the message is not the trivial initial one
+    leavers = ids[:: max(1, len(ids) // 4)][:3]
+    for uid in leavers:
+        tree.request_leave(uid)
+    message = tree.process_batch()
+    remaining = [u for u in ids if u not in leavers]
+    # drop departed users from tables for the post-churn session
+    for uid in leavers:
+        tables.pop(uid)
+        for table in tables.values():
+            table.remove(uid)
+        server_table.remove(uid)
+    # refill holes so the tables are 1-consistent again
+    from repro.core.neighbor_table import build_consistent_tables, build_server_table
+    from repro.core.neighbor_table import UserRecord
+
+    records = [UserRecord(u, h) for h, u in enumerate(ids) if u in set(remaining)]
+    tables = build_consistent_tables(scheme, records, topology.rtt, k=1)
+    server_table = build_server_table(
+        scheme, topology.num_hosts - 1, records, topology.rtt, k=1
+    )
+    return topology, remaining, tables, server_table, message
+
+
+class TestCorollary1:
+    """With splitting, u receives encryption e exactly once iff e is
+    needed by u or by a downstream user of u."""
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_received_set_equals_needed_union(self, seed):
+        topology, ids, tables, server_table, message = _random_world(seed)
+        session = rekey_session(server_table, tables, topology)
+        split = run_split_rekey(session, message, track_sets=True)
+        for uid in ids:
+            got = split.received_sets.get(uid, set())
+            want = set(message.needed_by(uid))
+            for down in session.downstream_users(uid):
+                want |= set(message.needed_by(down))
+            assert got == want, f"user {uid}"
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_every_user_can_extract_its_needed_encryptions(self, seed):
+        topology, ids, tables, server_table, message = _random_world(seed)
+        session = rekey_session(server_table, tables, topology)
+        split = run_split_rekey(session, message, track_sets=True)
+        for uid in ids:
+            needed = set(message.needed_by(uid))
+            assert needed <= split.received_sets.get(uid, set())
+
+
+class TestAccounting:
+    def test_forwarded_equals_sum_of_edge_loads(self):
+        topology, ids, tables, server_table, message = _random_world(7)
+        session = rekey_session(server_table, tables, topology)
+        split = run_split_rekey(session, message)
+        by_src = {}
+        for edge, load in split.edge_loads:
+            by_src[edge.src] = by_src.get(edge.src, 0) + load
+        for member, forwarded in split.forwarded.items():
+            assert forwarded == by_src.get(member, 0)
+
+    def test_split_never_exceeds_full_message(self):
+        topology, ids, tables, server_table, message = _random_world(11)
+        session = rekey_session(server_table, tables, topology)
+        split = run_split_rekey(session, message)
+        for count in split.received.values():
+            assert count <= message.rekey_cost
+
+    def test_unsplit_gives_everyone_full_message(self):
+        topology, ids, tables, server_table, message = _random_world(13)
+        session = rekey_session(server_table, tables, topology)
+        acct = run_unsplit_rekey(session, message.rekey_cost)
+        assert set(acct.received) == set(session.receipts)
+        assert all(v == message.rekey_cost for v in acct.received.values())
+        # forwarded = out-degree * message size
+        for member in session.receipts:
+            assert acct.forwarded[member] == (
+                session.user_stress(member) * message.rekey_cost
+            )
+
+    def test_split_total_bandwidth_below_unsplit(self):
+        topology, ids, tables, server_table, message = _random_world(17)
+        session = rekey_session(server_table, tables, topology)
+        split = run_split_rekey(session, message)
+        unsplit = run_unsplit_rekey(session, message.rekey_cost)
+        assert sum(split.received.values()) <= sum(unsplit.received.values())
+        assert sum(split.forwarded.values()) <= sum(unsplit.forwarded.values())

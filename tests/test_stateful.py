@@ -1,0 +1,160 @@
+"""Stateful property-based tests on the core data structures."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.core.id_tree import IdTree
+from repro.core.ids import Id, IdScheme
+from repro.core.neighbor_table import NeighborTable, UserRecord
+from repro.keytree.modified_tree import ModifiedKeyTree
+from repro.keytree.original_tree import OriginalKeyTree
+
+SCHEME = IdScheme(num_digits=3, base=3)
+ALL_IDS = [
+    Id((a, b, c)) for a in range(3) for b in range(3) for c in range(3)
+]
+ids_strategy = st.sampled_from(ALL_IDS)
+
+
+class NeighborTableMachine(RuleBasedStateMachine):
+    """Random inserts/removals must keep every entry sorted, bounded by
+    K, and placed at the Definition-3 slot."""
+
+    def __init__(self):
+        super().__init__()
+        self.owner = UserRecord(Id([1, 1, 1]), 999)
+        self.k = 2
+        self.table = NeighborTable(SCHEME, self.owner, self.k)
+        self.next_host = 0
+
+    @rule(uid=ids_strategy, rtt=st.floats(0.1, 500.0))
+    def insert(self, uid, rtt):
+        self.next_host += 1
+        self.table.insert(UserRecord(uid, self.next_host), rtt)
+
+    @rule(uid=ids_strategy)
+    def remove(self, uid):
+        self.table.remove(uid)
+
+    @invariant()
+    def entries_sorted_bounded_and_placed(self):
+        for i in range(SCHEME.num_digits):
+            for j in range(SCHEME.base):
+                rtts = self.table.entry_rtts(i, j)
+                assert rtts == sorted(rtts)
+                assert len(rtts) <= self.k
+                for record in self.table.entry(i, j):
+                    assert self.table.slot_for(record) == (i, j)
+        # the own-digit entries stay empty
+        for i in range(SCHEME.num_digits):
+            assert self.table.entry(i, self.owner.user_id[i]) == []
+
+    @invariant()
+    def no_duplicate_users(self):
+        ids = [r.user_id for r in self.table.all_records()]
+        assert len(ids) == len(set(ids))
+
+
+class ModifiedTreeMachine(RuleBasedStateMachine):
+    """Random join/leave/batch sequences must keep the key tree's node
+    set exactly equal to the ID tree induced by its users."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = ModifiedKeyTree(SCHEME)
+        self.present = set()
+        self.pending_leave = set()
+
+    @rule(uid=ids_strategy)
+    def join(self, uid):
+        if uid not in self.present:
+            self.tree.request_join(uid)
+            self.present.add(uid)
+
+    @rule(uid=ids_strategy)
+    def leave(self, uid):
+        if uid in self.present and uid not in self.pending_leave:
+            self.tree.request_leave(uid)
+            self.pending_leave.add(uid)
+
+    @rule()
+    def batch(self):
+        message = self.tree.process_batch()
+        self.present -= self.pending_leave
+        self.pending_leave = set()
+        # every encryption's keys exist in the post-batch tree
+        for enc in message.encryptions:
+            assert self.tree.has_node(enc.encrypting_key_id)
+            assert self.tree.has_node(enc.new_key_id)
+
+    @invariant()
+    def users_match(self):
+        assert self.tree.user_ids == self.present
+
+    @invariant()
+    def nodes_match_id_tree(self):
+        expected = set(IdTree(SCHEME, self.present).node_ids())
+        actual = {n for n in expected if self.tree.has_node(n)}
+        assert actual == expected
+
+
+class OriginalTreeMachine(RuleBasedStateMachine):
+    """Random churn on the WGL tree preserves its structural invariants."""
+
+    def __init__(self):
+        super().__init__()
+        self.tree = OriginalKeyTree(degree=3)
+        self.tree.initialize_balanced(list(range(9)))
+        self.present = set(range(9))
+        self.pending_leave = set()
+        self.counter = 100
+        self.rng = np.random.default_rng(0)
+
+    @rule()
+    def join(self):
+        self.counter += 1
+        self.tree.request_join(self.counter)
+
+    @rule(data=st.data())
+    def leave(self, data):
+        candidates = sorted(self.present - self.pending_leave)
+        if candidates:
+            user = data.draw(st.sampled_from(candidates))
+            self.tree.request_leave(user)
+            self.pending_leave.add(user)
+
+    @rule()
+    def batch(self):
+        before_pending = set(self.pending_leave)
+        self.tree.process_batch(self.rng)
+        self.present = set(self.tree.users)
+        self.pending_leave -= before_pending
+        assert self.tree.check_invariants() == []
+
+    @invariant()
+    def paths_reach_common_root(self):
+        users = sorted(self.tree.users, key=str)
+        if len(users) >= 2:
+            roots = {self.tree.path_nodes(u)[-1] for u in users[:5]}
+            assert len(roots) == 1
+
+
+TestNeighborTableMachine = NeighborTableMachine.TestCase
+TestNeighborTableMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestModifiedTreeMachine = ModifiedTreeMachine.TestCase
+TestModifiedTreeMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestOriginalTreeMachine = OriginalTreeMachine.TestCase
+TestOriginalTreeMachine.settings = settings(
+    max_examples=20, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,91 @@
+"""Tests for the WGL rekey-composition strategy comparison."""
+
+import numpy as np
+import pytest
+
+from repro.core.ids import Id, IdScheme
+from repro.keytree.modified_tree import ModifiedKeyTree
+from repro.keytree.original_tree import OriginalKeyTree
+from repro.keytree.strategies import (
+    StrategyCost,
+    modified_tree_strategy_costs,
+    original_tree_strategy_costs,
+)
+
+SCHEME = IdScheme(num_digits=3, base=4)
+
+
+def modified_batch(leaves=2):
+    tree = ModifiedKeyTree(SCHEME)
+    users = [Id([a, b, 0]) for a in range(3) for b in range(3)]
+    for uid in users:
+        tree.request_join(uid)
+    tree.process_batch()
+    for uid in users[:leaves]:
+        tree.request_leave(uid)
+    message = tree.process_batch()
+    return message, [u for u in users[leaves:]]
+
+
+class TestModifiedTreeStrategies:
+    def test_group_oriented_matches_message(self):
+        message, remaining = modified_batch()
+        costs = modified_tree_strategy_costs(message, remaining)
+        assert costs["group-oriented"] == StrategyCost(1, message.rekey_cost)
+
+    def test_key_oriented_same_encryptions_more_messages(self):
+        message, remaining = modified_batch()
+        costs = modified_tree_strategy_costs(message, remaining)
+        assert costs["key-oriented"].encryptions == message.rekey_cost
+        assert costs["key-oriented"].messages == len(
+            {e.new_key_id for e in message.encryptions}
+        )
+
+    def test_user_oriented_costs_more_encryptions(self):
+        """Re-encrypting shared keys per user always costs at least as
+        much as the shared group-oriented message."""
+        message, remaining = modified_batch()
+        costs = modified_tree_strategy_costs(message, remaining)
+        assert (
+            costs["user-oriented"].encryptions
+            >= costs["group-oriented"].encryptions
+        )
+        # every remaining user needs at least the new group key
+        assert costs["user-oriented"].messages == len(remaining)
+        assert costs["user-oriented"].encryptions >= len(remaining)
+
+    def test_empty_batch(self):
+        tree = ModifiedKeyTree(SCHEME)
+        tree.request_join(Id([0, 0, 0]))
+        tree.process_batch()
+        message = tree.process_batch()  # nothing pending
+        costs = modified_tree_strategy_costs(message, [Id([0, 0, 0])])
+        assert costs["group-oriented"] == StrategyCost(0, 0)
+        assert costs["user-oriented"].encryptions == 0
+
+
+class TestOriginalTreeStrategies:
+    def test_consistent_with_modified_semantics(self):
+        tree = OriginalKeyTree(degree=4)
+        tree.initialize_balanced(list(range(64)))
+        for u in range(6):
+            tree.request_leave(u)
+        result = tree.process_batch(np.random.default_rng(0))
+        costs = original_tree_strategy_costs(tree, result)
+        assert costs["group-oriented"].encryptions == result.rekey_cost
+        assert costs["key-oriented"].encryptions == result.rekey_cost
+        assert costs["user-oriented"].encryptions >= result.rekey_cost
+        assert costs["user-oriented"].messages == tree.num_users
+
+    def test_user_oriented_equals_sum_of_path_updates(self):
+        tree = OriginalKeyTree(degree=4)
+        tree.initialize_balanced(list(range(16)))
+        tree.request_leave(3)
+        result = tree.process_batch(np.random.default_rng(1))
+        updated = {e.new_key_node for e in result.encryptions}
+        expected = sum(
+            sum(1 for node in tree.path_nodes(u) if node in updated)
+            for u in tree.users
+        )
+        costs = original_tree_strategy_costs(tree, result)
+        assert costs["user-oriented"].encryptions == expected

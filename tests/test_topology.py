@@ -1,0 +1,216 @@
+"""Tests for the network substrates: transit-stub, PlanetLab, routing."""
+
+import numpy as np
+import pytest
+
+from repro.net import (
+    LinkStressCounter,
+    MatrixTopology,
+    PlanetLabTopology,
+    RouterGraph,
+    TransitStubParams,
+    TransitStubTopology,
+    validate_rtt_matrix,
+)
+from repro.net.gtitm import (
+    INTER_DOMAIN_DELAY,
+    STUB_LINK_DELAY,
+    STUB_TRANSIT_DELAY,
+    TRANSIT_LINK_DELAY,
+)
+
+
+class TestRouterGraph:
+    def test_shortest_path_delay(self):
+        # triangle: 0-1 (10ms two-way), 1-2 (10), 0-2 (50): route via 1
+        g = RouterGraph(3, [(0, 1, 10.0), (1, 2, 10.0), (0, 2, 50.0)])
+        assert g.one_way_delay(0, 2) == pytest.approx(10.0)  # (5 + 5)
+
+    def test_path_reconstruction(self):
+        g = RouterGraph(4, [(0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0), (0, 3, 50.0)])
+        assert g.path_routers(0, 3) == [0, 1, 2, 3]
+        assert g.path_links(0, 3) == [
+            g.link_id(0, 1),
+            g.link_id(1, 2),
+            g.link_id(2, 3),
+        ]
+
+    def test_path_to_self_is_empty(self):
+        g = RouterGraph(2, [(0, 1, 1.0)])
+        assert g.path_routers(0, 0) == [0]
+        assert g.path_links(0, 0) == []
+
+    def test_unreachable_raises(self):
+        g = RouterGraph(3, [(0, 1, 1.0)])
+        with pytest.raises(ValueError):
+            g.one_way_delay(0, 2)
+        assert not g.is_connected()
+
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(ValueError):
+            RouterGraph(2, [(0, 1, 1.0), (1, 0, 2.0)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            RouterGraph(2, [(0, 0, 1.0)])
+
+    def test_link_metadata(self):
+        g = RouterGraph(2, [(0, 1, 7.5)])
+        assert g.num_links == 1
+        assert g.link_two_way_delay(g.link_id(0, 1)) == 7.5
+
+
+class TestLinkStressCounter:
+    def test_accumulates(self):
+        c = LinkStressCounter(4)
+        c.add_path([0, 2], 3.0)
+        c.add_path([2], 1.0)
+        assert list(c.counts) == [3.0, 0.0, 4.0, 0.0]
+        assert c.max() == 4.0
+        assert list(c.nonzero()) == [3.0, 4.0]
+
+    def test_empty(self):
+        assert LinkStressCounter(0).max() == 0.0
+
+
+class TestTransitStub:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return TransitStubTopology(
+            num_hosts=30,
+            params=TransitStubParams(
+                transit_domains=3,
+                transit_per_domain=4,
+                stubs_per_transit=2,
+                stub_size=6,
+            ),
+            seed=11,
+        )
+
+    def test_router_count(self, topo):
+        # 3*4 transit + 12*2*6 stub routers
+        assert topo.num_routers == 12 + 144
+
+    def test_paper_scale_defaults(self):
+        params = TransitStubParams()
+        assert params.num_routers() == 4900  # ~ the paper's 5000
+
+    def test_connected(self, topo):
+        assert topo.graph.is_connected()
+
+    def test_link_delay_classes(self, topo):
+        """Every link's two-way delay falls in one of the paper's four
+        ranges."""
+        ranges = (
+            STUB_LINK_DELAY,
+            STUB_TRANSIT_DELAY,
+            TRANSIT_LINK_DELAY,
+            INTER_DOMAIN_DELAY,
+        )
+        for link in range(topo.num_links):
+            d = topo.graph.link_two_way_delay(link)
+            assert any(lo <= d <= hi for lo, hi in ranges), d
+
+    def test_rtt_symmetric_zero_diag(self, topo):
+        assert validate_rtt_matrix(topo, range(0, 30, 7)) == []
+
+    def test_rtt_includes_access_links(self, topo):
+        a, b = 0, 1
+        core = topo.rtt(a, b) - topo.access_rtt(a) - topo.access_rtt(b)
+        assert core >= 0
+
+    def test_gateway_rtt(self, topo):
+        a, b = 2, 9
+        expected = topo.rtt(a, b) - topo.access_rtt(a) - topo.access_rtt(b)
+        assert topo.gateway_rtt(a, b) == pytest.approx(max(0.0, expected))
+        assert topo.gateway_rtt(a, a) == 0.0
+
+    def test_path_links_nonempty_across_stubs(self, topo):
+        for b in range(1, 30):
+            if topo.stub_domain_of_host(0) != topo.stub_domain_of_host(b):
+                assert len(topo.path_links(0, b)) >= 1
+                return
+        pytest.skip("all hosts in one stub domain")
+
+    def test_hosts_attach_to_stub_routers(self, topo):
+        stub_routers = set(topo._stub_routers)
+        for h in range(topo.num_hosts):
+            assert topo.host_router(h) in stub_routers
+
+    def test_cross_domain_rtt_larger_than_local(self, topo):
+        local, remote = [], []
+        for b in range(1, 30):
+            same = topo.stub_domain_of_host(0) == topo.stub_domain_of_host(b)
+            (local if same else remote).append(topo.rtt(0, b))
+        if local and remote:
+            assert min(remote) > max(local)
+
+    def test_num_hosts_validation(self):
+        with pytest.raises(ValueError):
+            TransitStubTopology(num_hosts=0)
+
+
+class TestPlanetLab:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        return PlanetLabTopology(num_hosts=60, seed=3)
+
+    def test_defaults_match_paper(self):
+        assert PlanetLabTopology().num_hosts == 227
+
+    def test_rtt_valid(self, topo):
+        assert validate_rtt_matrix(topo, range(0, 60, 11)) == []
+
+    def test_same_site_is_lan_fast(self, topo):
+        pairs = [
+            (a, b)
+            for a in range(60)
+            for b in range(a + 1, 60)
+            if topo.host_site(a) == topo.host_site(b)
+        ]
+        if not pairs:
+            pytest.skip("no same-site pair")
+        for a, b in pairs:
+            assert topo.rtt(a, b) < 15.0
+
+    def test_cross_continent_is_slow(self, topo):
+        for a in range(60):
+            for b in range(a + 1, 60):
+                ca, cb = topo.host_continent(a), topo.host_continent(b)
+                if {ca, cb} == {"north-america", "asia"}:
+                    assert topo.rtt(a, b) > 60.0
+
+    def test_no_link_stress_support(self, topo):
+        assert not topo.supports_link_stress()
+        with pytest.raises(NotImplementedError):
+            topo.path_links(0, 1)
+
+    def test_continent_mix(self, topo):
+        continents = {topo.host_continent(h) for h in range(60)}
+        assert "north-america" in continents
+        assert len(continents) >= 3
+
+
+class TestMatrixTopology:
+    def test_validation(self):
+        good = np.array([[0.0, 1.0], [1.0, 0.0]])
+        MatrixTopology(good)
+        with pytest.raises(ValueError):
+            MatrixTopology(np.array([[0.0, 1.0], [2.0, 0.0]]))  # asymmetric
+        with pytest.raises(ValueError):
+            MatrixTopology(np.array([[1.0, 1.0], [1.0, 0.0]]))  # diag
+        with pytest.raises(ValueError):
+            MatrixTopology(np.array([[0.0, -1.0], [-1.0, 0.0]]))  # negative
+        with pytest.raises(ValueError):
+            MatrixTopology(np.zeros((2, 3)))  # not square
+
+    def test_access_rtts(self):
+        topo = MatrixTopology(np.array([[0.0, 4.0], [4.0, 0.0]]), [1.0, 2.0])
+        assert topo.access_rtt(1) == 2.0
+        assert topo.gateway_rtt(0, 1) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            MatrixTopology(np.zeros((2, 2)), [1.0])
+
+    def test_one_way_is_half_rtt(self):
+        topo = MatrixTopology(np.array([[0.0, 10.0], [10.0, 0.0]]))
+        assert topo.one_way_delay(0, 1) == 5.0
