@@ -62,6 +62,9 @@ from .net import (
     TransitStubTopology,
 )
 from .alm import NiceHierarchy, nice_multicast
+from .alm.reliable import ReliabilityConfig, ReliableSession, ReliableTmeshNode
+from .faults import FaultPlan, FaultStats
+from .metrics import RepairStats
 from .sim import Network, Node, Simulator
 
 __version__ = "1.0.0"
@@ -99,6 +102,12 @@ __all__ = [
     "TransitStubTopology",
     "NiceHierarchy",
     "nice_multicast",
+    "ReliabilityConfig",
+    "ReliableSession",
+    "ReliableTmeshNode",
+    "FaultPlan",
+    "FaultStats",
+    "RepairStats",
     "Network",
     "Node",
     "Simulator",

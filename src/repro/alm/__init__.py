@@ -1,4 +1,6 @@
-"""Baseline ALM schemes the paper compares against: NICE and IP multicast."""
+"""Application-layer multicast: the NICE / IP-multicast / Scribe
+baselines the paper compares against, plus the NACK-repaired reliable
+T-mesh transport (:mod:`repro.alm.reliable`)."""
 
 from .base import AlmEdge, AlmSessionResult
 from .nice import Cluster, NiceHierarchy, PAPER_NICE_K, nice_multicast
@@ -7,11 +9,27 @@ from .ipmulticast import (
     ip_multicast_session,
     ip_multicast_tree_links,
 )
+from .reliable import (
+    ReliabilityConfig,
+    ReliableOutcome,
+    ReliableSession,
+    ReliableTmeshNode,
+    TmeshData,
+    TmeshHeartbeat,
+    TmeshNack,
+)
 from .scribe import ScribeGroup, build_scribe_group, scribe_multicast
 
 __all__ = [
     "AlmEdge",
     "AlmSessionResult",
+    "ReliabilityConfig",
+    "ReliableOutcome",
+    "ReliableSession",
+    "ReliableTmeshNode",
+    "TmeshData",
+    "TmeshHeartbeat",
+    "TmeshNack",
     "Cluster",
     "NiceHierarchy",
     "PAPER_NICE_K",

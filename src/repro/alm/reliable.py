@@ -1,0 +1,523 @@
+"""Reliable T-mesh delivery: NACK-based selective repair over FORWARD.
+
+Theorem 1 gives *exactly-once* delivery over 1-consistent tables — but
+only without losses.  This module degrades that guarantee gracefully to
+*at-least-once, deduplicated* under an injected
+:class:`~repro.faults.FaultPlan` (or any lossy network), in the spirit of
+NACK-oriented reliable multicast (NORM, RFC 5740):
+
+* the source stamps every payload with a **sequence number**; a receiver
+  tracks one stream per ``(source, forwarding level)`` — the level at
+  which the T-mesh delivers the stream to it — and detects holes from
+  the sequence numbers it does see;
+* the source follows the burst with a few **heartbeat / watermark**
+  rounds (NORM's ``CMD(FLUSH)``) carrying the highest sequence number,
+  flooded over the same FORWARD paths, so trailing losses are detected
+  even when no later data packet arrives;
+* a receiver with holes sends a **selective NACK** (the explicit list of
+  missing sequence numbers) to its *upstream* — the neighbor it last
+  heard the stream from — after a short reordering grace period, and
+  retries with **exponential backoff**; after a few upstream attempts it
+  escalates to the source itself, and a bounded retry budget guarantees
+  the event queue always drains;
+* every forwarder keeps a **bounded repair buffer** of the packets it has
+  seen and answers NACKs with unicast retransmissions, so repair traffic
+  stays inside the topological region the T-mesh already confines the
+  stream to (local recovery);
+* a repaired hole is **re-forwarded once** down the repairing node's own
+  rows: when a forwarder recovers a packet its whole subtree was missing,
+  the repair heals the subtree instead of stranding it behind further
+  NACK rounds (NORM's local-repair multicast).  The per-node
+  ``(source, seq)`` seen-set bounds this — each node forwards each packet
+  at most once — and suppresses every duplicate before the application
+  sees it, which is what keeps the application contract "exactly one
+  delivered copy".
+
+All repair accounting flows through
+:class:`repro.metrics.faults.RepairStats` so experiments can report
+delivery ratio and repair overhead as a function of loss rate.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..core.ids import Id, NULL_ID
+from ..core.neighbor_table import NeighborTable, UserRecord
+from ..faults.plan import FaultPlan
+from ..metrics.faults import RepairStats
+from ..net.topology import Topology
+from ..sim.engine import Simulator
+from ..sim.node import Network, Node
+
+
+# ----------------------------------------------------------------------
+# Wire messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class TmeshData:
+    """One payload copy: multicast (first transmission, forwarded by
+    FORWARD) or unicast repair (``retransmit=True``, never forwarded)."""
+
+    source: Id
+    source_host: int
+    seq: int
+    forward_level: int
+    payload: Any
+    retransmit: bool = False
+
+
+@dataclass(frozen=True)
+class TmeshHeartbeat:
+    """Watermark flood: 'source has sent everything up to
+    ``highest_seq``' — NORM's flush command, forwarded like data."""
+
+    source: Id
+    source_host: int
+    highest_seq: int
+    forward_level: int
+    round: int
+
+
+@dataclass(frozen=True)
+class TmeshNack:
+    """Selective repair request: the explicit missing sequence numbers.
+    Answered with unicast retransmissions by whoever buffers them."""
+
+    source: Id
+    source_host: int
+    missing: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Knobs of the repair protocol (simulated-time units are ms)."""
+
+    #: reordering grace before the first NACK for a detected hole
+    nack_delay: float = 10.0
+    #: first retransmission timeout; doubles per retry (``backoff``)
+    rto: float = 80.0
+    backoff: float = 2.0
+    #: NACKs aimed at the upstream before escalating to the source
+    max_upstream_nacks: int = 3
+    #: NACKs aimed at the source before giving the hole up
+    max_source_nacks: int = 8
+    #: watermark rounds the source sends after the burst
+    heartbeat_rounds: int = 12
+    heartbeat_interval: float = 50.0
+    #: packets per source a node keeps for answering NACKs
+    repair_buffer: int = 256
+    #: master switch: ``False`` degrades to plain (lossy) FORWARD
+    repair_enabled: bool = True
+    #: route around next hops known down (Section 2.3's K > 1 recovery:
+    #: the next neighbor of the same table entry replaces a dead primary)
+    use_backups: bool = True
+
+
+@dataclass
+class _RepairState:
+    """Per-source hole tracking at one receiver."""
+
+    missing: Set[int] = field(default_factory=set)
+    attempts: int = 0
+    event: Optional[object] = None  # pending sim Event, if any
+
+
+class ReliableTmeshNode(Node):
+    """A member (or the key server) speaking the reliable T-mesh
+    protocol.  ``table`` is its neighbor table — one row for the key
+    server, ``D`` rows for a user (Section 2.2)."""
+
+    def __init__(
+        self,
+        network: Network,
+        record: UserRecord,
+        table: NeighborTable,
+        config: Optional[ReliabilityConfig] = None,
+        down_check=None,
+    ):
+        super().__init__(network, record.host)
+        self.record = record
+        self.table = table
+        self.config = config if config is not None else ReliabilityConfig()
+        #: liveness oracle for Section-2.3 backup routing — models the
+        #: probing-based failure detection of the distributed layer
+        self._down_check = down_check if down_check is not None else (lambda host: False)
+        self.stats = RepairStats()
+        #: payloads handed to the application, per source, arrival order
+        self.delivered: Dict[Id, List[Tuple[int, Any]]] = {}
+        self._seen: Dict[Id, Set[int]] = {}
+        self._buffer: Dict[Id, "OrderedDict[int, TmeshData]"] = {}
+        self._upstream: Dict[Id, int] = {}
+        self._level: Dict[Id, int] = {}  # (source, forwarding-level) stream
+        self._highest: Dict[Id, int] = {}
+        self._hb_seen: Dict[Id, Set[int]] = {}
+        self._repairs: Dict[Id, _RepairState] = {}
+        self._next_seq = 0  # when this node is a source
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def source_id(self) -> Id:
+        return self.record.user_id
+
+    def delivered_payloads(self, source: Id) -> List[Any]:
+        """Application deliveries from ``source`` in sequence order."""
+        return [p for _, p in sorted(self.delivered.get(source, []))]
+
+    def missing_from(self, source: Id) -> List[int]:
+        """Sequence numbers known missing (unrepaired holes)."""
+        seen = self._seen.get(source, set())
+        highest = self._highest.get(source, -1)
+        return [s for s in range(highest + 1) if s not in seen]
+
+    # ------------------------------------------------------------------
+    # Sending (this node as the stream source)
+    # ------------------------------------------------------------------
+    def send_stream(self, payloads: List[Any]) -> Tuple[int, int]:
+        """Multicast ``payloads`` reliably; returns the (first, last)
+        sequence numbers used."""
+        first = self._next_seq
+        source = self.source_id
+        seen = self._seen.setdefault(source, set())
+        for payload in payloads:
+            seq = self._next_seq
+            self._next_seq += 1
+            msg = TmeshData(source, self.host, seq, 0, payload)
+            seen.add(seq)
+            self._remember(msg)
+            self._highest[source] = seq
+            self._forward(msg)
+        last = self._next_seq - 1
+        if self.config.repair_enabled:
+            for rnd in range(self.config.heartbeat_rounds):
+                self.network.simulator.schedule(
+                    (rnd + 1) * self.config.heartbeat_interval,
+                    lambda rnd=rnd, last=last: self._emit_heartbeat(rnd, last),
+                )
+        return first, last
+
+    def _emit_heartbeat(self, rnd: int, highest: int) -> None:
+        hb = TmeshHeartbeat(self.source_id, self.host, highest, 0, rnd)
+        self._hb_seen.setdefault(self.source_id, set()).add(rnd)
+        self._flood(hb)
+
+    # ------------------------------------------------------------------
+    # FORWARD (Fig. 2) over the live network
+    # ------------------------------------------------------------------
+    def _rows(self, level: int) -> range:
+        num_digits = self.table.scheme.num_digits
+        if self.table.is_server_table:
+            return range(0, 1) if level == 0 else range(0, 0)
+        return range(level, num_digits)
+
+    def _next_hop(self, i: int, j: int, primary: UserRecord) -> Optional[UserRecord]:
+        """The (i,j)-primary, or — when it is known down and backups are
+        on — the closest live neighbor of the same entry (Section 2.3)."""
+        if not self.config.use_backups or not self._down_check(primary.host):
+            return primary
+        return next(
+            (r for r in self.table.entry(i, j) if not self._down_check(r.host)),
+            None,
+        )
+
+    def _forward(self, msg: TmeshData) -> None:
+        for i in self._rows(msg.forward_level):
+            for j, primary in self.table.row_primaries(i):
+                nbr = self._next_hop(i, j, primary)
+                if nbr is None:
+                    continue
+                self.stats.data_sent += 1
+                self.send(
+                    nbr.host,
+                    TmeshData(
+                        msg.source,
+                        msg.source_host,
+                        msg.seq,
+                        i + 1,
+                        msg.payload,
+                    ),
+                )
+
+    def _flood(self, hb: TmeshHeartbeat) -> None:
+        for i in self._rows(hb.forward_level):
+            for j, primary in self.table.row_primaries(i):
+                nbr = self._next_hop(i, j, primary)
+                if nbr is None:
+                    continue
+                self.stats.heartbeats_sent += 1
+                self.send(
+                    nbr.host,
+                    TmeshHeartbeat(
+                        hb.source,
+                        hb.source_host,
+                        hb.highest_seq,
+                        i + 1,
+                        hb.round,
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Receive paths
+    # ------------------------------------------------------------------
+    def on_message(self, src: int, payload: Any) -> None:
+        if isinstance(payload, TmeshData):
+            self._on_data(src, payload)
+        elif isinstance(payload, TmeshHeartbeat):
+            self._on_heartbeat(src, payload)
+        elif isinstance(payload, TmeshNack):
+            self._on_nack(src, payload)
+
+    def _on_data(self, src: int, msg: TmeshData) -> None:
+        source = msg.source
+        self._upstream[source] = src
+        seen = self._seen.setdefault(source, set())
+        if msg.seq in seen:
+            self.stats.duplicates_suppressed += 1
+            return
+        seen.add(msg.seq)
+        self._remember(msg)
+        self.stats.data_delivered += 1
+        self.delivered.setdefault(source, []).append((msg.seq, msg.payload))
+        if not msg.retransmit:
+            # First delivery over the mesh fixes this node's
+            # (source, forwarding-level) stream; repairs do not.
+            self._level.setdefault(source, msg.forward_level)
+            self._forward(msg)
+        else:
+            # A repaired hole heals the subtree: re-forward it once over
+            # this node's own rows, as if it had arrived on the mesh.
+            # The seen-set above bounds this to one forward per packet.
+            level = self._level.get(source)
+            if level is not None:
+                self._forward(
+                    TmeshData(
+                        source, msg.source_host, msg.seq, level, msg.payload
+                    )
+                )
+        self._note_highest(source, msg.source_host, msg.seq)
+
+    def _on_heartbeat(self, src: int, hb: TmeshHeartbeat) -> None:
+        source = hb.source
+        self._upstream.setdefault(source, src)
+        # A node that only ever hears heartbeats still learns its stream
+        # level, so it can re-forward repaired packets downstream.
+        self._level.setdefault(source, hb.forward_level)
+        rounds = self._hb_seen.setdefault(source, set())
+        if hb.round not in rounds:
+            rounds.add(hb.round)
+            self._flood(hb)
+        self._note_highest(source, hb.source_host, hb.highest_seq)
+
+    def _on_nack(self, src: int, nack: TmeshNack) -> None:
+        """Serve what the repair buffer holds; keep chasing the rest
+        ourselves so repairs cascade up the delivery tree."""
+        buffer = self._buffer.get(nack.source, OrderedDict())
+        unserved: List[int] = []
+        for seq in nack.missing:
+            held = buffer.get(seq)
+            if held is not None:
+                self.stats.retransmissions += 1
+                self.send(
+                    src,
+                    TmeshData(
+                        held.source,
+                        held.source_host,
+                        held.seq,
+                        self.table.scheme.num_digits,
+                        held.payload,
+                        retransmit=True,
+                    ),
+                )
+            else:
+                unserved.append(seq)
+        if unserved and nack.source != self.source_id:
+            self._note_highest(nack.source, nack.source_host, max(unserved))
+
+    # ------------------------------------------------------------------
+    # Hole detection and NACK scheduling
+    # ------------------------------------------------------------------
+    def _remember(self, msg: TmeshData) -> None:
+        buffer = self._buffer.setdefault(msg.source, OrderedDict())
+        buffer[msg.seq] = msg
+        while len(buffer) > self.config.repair_buffer:
+            buffer.popitem(last=False)
+
+    def _note_highest(self, source: Id, source_host: int, seq: int) -> None:
+        previous = self._highest.get(source, -1)
+        if seq > previous:
+            self._highest[source] = seq
+        if not self.config.repair_enabled or source == self.source_id:
+            return
+        seen = self._seen.setdefault(source, set())
+        holes = {
+            s for s in range(self._highest[source] + 1) if s not in seen
+        }
+        if not holes:
+            return
+        state = self._repairs.setdefault(source, _RepairState())
+        state.missing |= holes
+        self._schedule_nack(source, source_host, self.config.nack_delay)
+
+    def _schedule_nack(self, source: Id, source_host: int, delay: float) -> None:
+        state = self._repairs[source]
+        if state.event is not None:
+            return  # a NACK round is already pending
+
+        def fire() -> None:
+            state.event = None
+            seen = self._seen.get(source, set())
+            state.missing -= seen
+            if not state.missing:
+                state.attempts = 0
+                return
+            budget = self.config.max_upstream_nacks + self.config.max_source_nacks
+            if state.attempts >= budget:
+                self.stats.gave_up += len(state.missing)
+                state.missing.clear()
+                return
+            if (
+                state.attempts < self.config.max_upstream_nacks
+                and source in self._upstream
+            ):
+                target = self._upstream[source]
+            else:
+                target = source_host
+                self.stats.source_repairs += 1
+            self.stats.nacks_sent += 1
+            self.send(
+                target, TmeshNack(source, source_host, tuple(sorted(state.missing)))
+            )
+            state.attempts += 1
+            retry = self.config.rto * (
+                self.config.backoff ** min(state.attempts - 1, 6)
+            )
+            self._schedule_nack(source, source_host, retry)
+
+        state.event = self.network.simulator.schedule(delay, fire)
+
+
+# ----------------------------------------------------------------------
+# Session orchestration
+# ----------------------------------------------------------------------
+@dataclass
+class ReliableOutcome:
+    """What one reliable multicast achieved, per member and in total."""
+
+    source: Id
+    payloads: List[Any]
+    delivered: Dict[Id, List[Any]]  # member -> payloads in seq order
+    missing: Dict[Id, List[int]]  # member -> unrepaired holes
+    stats: RepairStats  # aggregated over every node
+    per_node: Dict[Id, RepairStats]
+
+    @property
+    def expected_deliveries(self) -> int:
+        return len(self.payloads) * len(self.delivered)
+
+    @property
+    def delivery_ratio(self) -> float:
+        if self.expected_deliveries == 0:
+            return 1.0
+        achieved = sum(
+            min(len(got), len(self.payloads)) for got in self.delivered.values()
+        )
+        return achieved / self.expected_deliveries
+
+    @property
+    def duplicates_surfaced(self) -> int:
+        """Application-level double deliveries (the contract says 0)."""
+        extra = 0
+        for got in self.delivered.values():
+            counts: Dict[Any, int] = {}
+            for payload in got:
+                counts[payload] = counts.get(payload, 0) + 1
+            extra += sum(c - 1 for c in counts.values())
+        return extra
+
+    def members_short(self) -> List[Id]:
+        """Members that did not receive every payload."""
+        want = len(self.payloads)
+        return sorted(
+            uid for uid, got in self.delivered.items() if len(got) < want
+        )
+
+
+class ReliableSession:
+    """Build a live network of :class:`ReliableTmeshNode` from a static
+    table configuration and run reliable multicasts through a fault plan.
+
+    ``tables`` maps every member ID to its neighbor table (as built by
+    :func:`repro.core.neighbor_table.build_consistent_tables`);
+    ``server_table`` is the key server's one-row table for rekey
+    transport.  The session owns its simulator and network.
+    """
+
+    def __init__(
+        self,
+        tables: Dict[Id, NeighborTable],
+        server_table: NeighborTable,
+        topology: Topology,
+        plan: Optional[FaultPlan] = None,
+        config: Optional[ReliabilityConfig] = None,
+    ):
+        self.config = config if config is not None else ReliabilityConfig()
+        self.plan = plan
+        self.simulator = Simulator()
+        self.network = Network(self.simulator, topology)
+        self.network.install_faults(plan)
+        down_check = None
+        if plan is not None and self.config.use_backups:
+            # the liveness oracle backing Section-2.3 backup routing
+            down_check = lambda host: plan.is_down(host, self.simulator.now)
+        self.nodes: Dict[Id, ReliableTmeshNode] = {
+            uid: ReliableTmeshNode(
+                self.network, table.owner, table, self.config, down_check
+            )
+            for uid, table in tables.items()
+        }
+        self.server = ReliableTmeshNode(
+            self.network, server_table.owner, server_table, self.config, down_check
+        )
+
+    def multicast(
+        self,
+        payloads: List[Any],
+        sender: Optional[Id] = None,
+        until: Optional[float] = None,
+        max_events: int = 2_000_000,
+    ) -> ReliableOutcome:
+        """Run one reliable session: rekey transport when ``sender`` is
+        ``None`` (the key server sends), data transport otherwise."""
+        source_node = self.server if sender is None else self.nodes[sender]
+        source_node.send_stream(list(payloads))
+        self.simulator.run(until=until, max_events=max_events)
+        return self.collect(source_node.source_id, list(payloads))
+
+    def collect(self, source: Id, payloads: List[Any]) -> ReliableOutcome:
+        receivers = {
+            uid: node for uid, node in self.nodes.items() if uid != source
+        }
+        total = RepairStats()
+        per_node: Dict[Id, RepairStats] = {}
+        for uid, node in self.nodes.items():
+            per_node[uid] = node.stats
+            total.add(node.stats)
+        total.add(self.server.stats)
+        return ReliableOutcome(
+            source=source,
+            payloads=payloads,
+            delivered={
+                uid: node.delivered_payloads(source)
+                for uid, node in receivers.items()
+            },
+            missing={
+                uid: node.missing_from(source)
+                for uid, node in receivers.items()
+            },
+            stats=total,
+            per_node=per_node,
+        )

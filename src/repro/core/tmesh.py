@@ -22,11 +22,14 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..net.topology import Topology
 from .ids import Id, NULL_ID
 from .neighbor_table import NeighborTable, UserRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -119,6 +122,7 @@ def run_multicast(
     processing_delay: float = 0.0,
     failed_hosts: Optional[set] = None,
     use_backups: bool = False,
+    fault_plan: Optional["FaultPlan"] = None,
 ) -> SessionResult:
     """Run one T-mesh multicast session and record its delivery tree.
 
@@ -133,6 +137,13 @@ def run_multicast(
     subtree).  With ``use_backups=True``, forwarders apply the paper's
     K > 1 recovery (Section 2.3): on detecting a failed next hop they
     forward to the next neighbor in the same table entry instead.
+
+    ``fault_plan`` subjects every overlay hop to an injected
+    :class:`~repro.faults.FaultPlan` — drops lose the copy (and, without
+    repair, its whole subtree), delays/reordering shift its arrival, and
+    duplication enqueues extra copies (surfacing as
+    ``duplicate_copies``).  This is the *unrepaired* transport; layer
+    :class:`repro.alm.reliable.ReliableSession` on top for NACK repair.
     """
     sender = sender_table.owner
     result = SessionResult(sender=sender.user_id, sender_host=sender.host)
@@ -166,7 +177,13 @@ def run_multicast(
                     nbr = pick_next_hop(table, i, j)
                     if nbr is None:
                         continue
-                arrival = (
+                if fault_plan is None:
+                    extra_delays = (0.0,)
+                else:
+                    extra_delays = fault_plan.apply(
+                        member.host, nbr.host, None, now
+                    )
+                base_arrival = (
                     now
                     + processing_delay
                     + topology.one_way_delay(member.host, nbr.host)
@@ -179,12 +196,20 @@ def run_multicast(
                         dst_host=nbr.host,
                         send_level=i,
                         send_time=now,
-                        arrival_time=arrival,
+                        arrival_time=base_arrival,
                     )
                 )
-                heapq.heappush(
-                    queue, (arrival, next(counter), nbr, i + 1, member.user_id)
-                )
+                for extra in extra_delays:
+                    heapq.heappush(
+                        queue,
+                        (
+                            base_arrival + extra,
+                            next(counter),
+                            nbr,
+                            i + 1,
+                            member.user_id,
+                        ),
+                    )
 
     forward(sender, sender_table, 0, 0.0)
     while queue:

@@ -12,6 +12,7 @@ import numpy as np
 from ..core.id_assignment import PAPER_THRESHOLDS
 from ..core.id_tree import IdTree
 from ..core.ids import Id, IdScheme, PAPER_SCHEME
+from ..faults.plan import FaultPlan, FaultStats
 from ..net.topology import Topology
 from ..sim.engine import Simulator
 from ..sim.node import Network
@@ -48,12 +49,15 @@ class DistributedGroup:
         thresholds: Tuple[float, ...] = PAPER_THRESHOLDS,
         k: int = 4,
         seed: int = 0,
+        fault_plan: Optional[FaultPlan] = None,
     ):
         self.scheme = scheme
         self.thresholds = thresholds
         self.k = k
         self.simulator = Simulator()
         self.network = Network(self.simulator, topology)
+        self.network.install_faults(fault_plan)
+        self.fault_plan = fault_plan
         self.server = ServerNode(self.network, server_host, scheme, k=k, seed=seed)
         self.users: Dict[int, UserNode] = {}
         self.intervals: List[IntervalLog] = []
@@ -91,6 +95,31 @@ class DistributedGroup:
 
         self.simulator.schedule_at(at, fire)
 
+    def schedule_recovery_round(self, at: float) -> None:
+        """Every attached member asks the server at ``at`` for interval
+        announcements it missed (reference-[31] unicast recovery).  The
+        request/response unicasts are themselves subject to any installed
+        fault plan, so schedule a few rounds to converge under loss."""
+
+        def fire() -> None:
+            for user in self.users.values():
+                if self.network.node_at(user.host) is user:
+                    user.request_recovery()
+
+        self.simulator.schedule_at(at, fire)
+
+    def schedule_refill_sweep(self, at: float) -> None:
+        """Every attached user runs one anti-entropy refill round at
+        ``at``, re-querying region mates for any empty table entry (the
+        repair path for announcements lost to an installed fault plan)."""
+
+        def fire() -> None:
+            for user in self.users.values():
+                if self.network.node_at(user.host) is user:
+                    user.refill_sweep()
+
+        self.simulator.schedule_at(at, fire)
+
     def end_interval(self, at: float) -> None:
         """Schedule an interval end (batch rekey + announcement)."""
 
@@ -102,6 +131,13 @@ class DistributedGroup:
 
     def run(self, until: Optional[float] = None) -> None:
         self.simulator.run(until=until)
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        """What the installed fault plan injected (all-zero without one)."""
+        if self.fault_plan is None:
+            return FaultStats()
+        return self.fault_plan.stats
 
     # ------------------------------------------------------------------
     # Audits

@@ -122,6 +122,27 @@ class MembershipUpdate:
 
 
 @dataclass(frozen=True)
+class RecoverRequest:
+    """User -> server: I may have missed interval announcements (a lossy
+    network dropped my multicast copy, taking a whole subtree's worth of
+    membership updates with it); unicast me every update after
+    ``last_interval``.  This is the paper's reference-[31] fallback: the
+    key server keeps the announcement history and any member can resync
+    from it."""
+
+    last_interval: int
+
+
+@dataclass(frozen=True)
+class RecoverResponse:
+    """Server -> user: the missed updates, oldest first, with each
+    update's encryptions filtered down to what the requester needs
+    (Lemma 3, as for the joiner unicast)."""
+
+    updates: Tuple[MembershipUpdate, ...]
+
+
+@dataclass(frozen=True)
 class MulticastMsg:
     """A T-mesh multicast copy: payload plus the forward_level field of
     Fig. 2 (and the sender's row ``s`` for the Theorem-2 splitting

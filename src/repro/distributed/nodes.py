@@ -45,6 +45,9 @@ class ProtocolStats:
     multicast_copies: int = 0
     refills_sent: int = 0
     failures_detected: int = 0
+    server_retries: int = 0
+    recovery_requests: int = 0
+    recovered_updates: int = 0
 
 
 class ServerNode(Node):
@@ -79,6 +82,15 @@ class ServerNode(Node):
         # records of users that departed meanwhile (in a deployment the
         # registrar validates the joiner's record set the same way).
         self._all_departed: Set[Id] = set()
+        # Idempotency for the lossy key-server path: a duplicated
+        # JoinRequest / NotifyPrefix (a client retry whose original
+        # arrived after all) is answered with the *same* reply instead of
+        # registering the host twice.
+        self._granted: Dict[int, m.JoinGrant] = {}
+        self._assigned_by_host: Dict[int, m.AssignedId] = {}
+        # Announcement history for reference-[31] unicast recovery: a
+        # member that missed an interval multicast resyncs from here.
+        self._history: List[m.MembershipUpdate] = []
         self.interval = 0
         self._clock = 0
 
@@ -92,24 +104,36 @@ class ServerNode(Node):
             self._handle_leave(payload)
         elif isinstance(payload, m.FailureNotice):
             self._handle_failure_notice(payload)
+        elif isinstance(payload, m.RecoverRequest):
+            self._handle_recover(src, payload)
         elif isinstance(payload, m.PingMsg):
             self.send(src, m.PongMsg(None, payload.token))
 
     def _handle_join_request(self, src: int) -> None:
+        if src in self._granted:  # client retry: repeat the same grant
+            self.send(src, self._granted[src])
+            return
         if not self.records:
             record = self._register(src, self.scheme.first_user_id())
-            self.send(src, m.JoinGrant(assigned=record, bootstrap=None))
-            return
-        candidates = sorted(self._announced) or sorted(self.records)
-        bootstrap = self.records[
-            candidates[int(self.rng.integers(0, len(candidates)))]
-        ]
-        self.send(src, m.JoinGrant(assigned=None, bootstrap=bootstrap))
+            grant = m.JoinGrant(assigned=record, bootstrap=None)
+        else:
+            candidates = sorted(self._announced) or sorted(self.records)
+            bootstrap = self.records[
+                candidates[int(self.rng.integers(0, len(candidates)))]
+            ]
+            grant = m.JoinGrant(assigned=None, bootstrap=bootstrap)
+        self._granted[src] = grant
+        self.send(src, grant)
 
     def _handle_notify(self, src: int, msg: m.NotifyPrefix) -> None:
+        if src in self._assigned_by_host:  # client retry: same ID again
+            self.send(src, self._assigned_by_host[src])
+            return
         user_id = complete_user_id(self.id_tree, msg.determined_prefix, self.rng)
         record = self._register(src, user_id)
-        self.send(src, m.AssignedId(record, tuple(self._all_departed)))
+        reply = m.AssignedId(record, tuple(self._all_departed))
+        self._assigned_by_host[src] = reply
+        self.send(src, reply)
 
     def _register(self, host: int, user_id: Id) -> UserRecord:
         self._clock += 1
@@ -128,6 +152,8 @@ class ServerNode(Node):
     def _handle_leave(self, msg: m.LeaveRequest) -> None:
         if msg.user_id not in self.records:
             return
+        if msg.user_id in self._pending_leaves:
+            return  # client retry of a LeaveRequest already queued
         self._pending_leaves.append(msg.user_id)
         self.key_tree.request_leave(msg.user_id)
         for record in msg.neighbor_records:
@@ -144,6 +170,31 @@ class ServerNode(Node):
             return
         self._pending_leaves.append(msg.failed_user)
         self.key_tree.request_leave(msg.failed_user)
+
+    def _handle_recover(self, src: int, msg: m.RecoverRequest) -> None:
+        """Reference-[31] recovery: unicast the announcements the member
+        missed, oldest first, with encryptions Lemma-3-filtered to what
+        this member can use."""
+        requester = next(
+            (uid for uid, r in self.records.items() if r.host == src), None
+        )
+        missed = tuple(
+            m.MembershipUpdate(
+                u.interval,
+                u.joins,
+                u.leaves,
+                tuple(
+                    e
+                    for e in u.encryptions
+                    if requester is not None and e.needed_by(requester)
+                ),
+                u.replacements,
+            )
+            for u in self._history
+            if u.interval > msg.last_interval
+        )
+        if missed:
+            self.send(src, m.RecoverResponse(missed))
 
     # ------------------------------------------------------------------
     def end_interval(self) -> m.MembershipUpdate:
@@ -165,6 +216,7 @@ class ServerNode(Node):
         update = m.MembershipUpdate(
             self.interval, joins, leaves, rekey.encryptions, replacements
         )
+        self._history.append(update)
         self.interval += 1
 
         # The multicast runs over the tables as of the *previous*
@@ -174,6 +226,9 @@ class ServerNode(Node):
         # and detach on receiving it.
         server_table = self._build_server_table(self._announced)
         for user_id in leaves:
+            host = self.records[user_id].host
+            self._granted.pop(host, None)  # a rejoin gets a fresh grant
+            self._assigned_by_host.pop(host, None)
             self.id_tree.remove_user(user_id)
             del self.records[user_id]
         self._announced -= set(leaves)
@@ -285,6 +340,11 @@ class UserNode(Node):
         self._leave_deferred = False  # leave requested before join finished
         #: Round-trip budget before a query/ping is written off (ms).
         self.timeout = 5000.0
+        #: Retries on the key-server path (join admission, ID assignment,
+        #: leave) before a lost request is accepted as fate.  The delay
+        #: doubles per attempt (exponential backoff).
+        self.max_server_retries = 3
+        self._server_retry_events: Dict[str, object] = {}
         self._outstanding: Dict[Tuple, object] = {}  # token -> timeout Event
         self._query_seq = 0
         self._ping_timeouts: Dict[int, object] = {}
@@ -298,7 +358,11 @@ class UserNode(Node):
     # Outbound actions
     # ------------------------------------------------------------------
     def start_join(self) -> None:
-        self.send(self.server_host, m.JoinRequest())
+        self._send_to_server(
+            "join",
+            lambda: m.JoinRequest(),
+            done=lambda: self.joined or self._phase is not None,
+        )
 
     def start_leave(self) -> None:
         """Request departure; the node keeps serving until the interval's
@@ -311,7 +375,37 @@ class UserNode(Node):
             return
         self.leaving = True
         neighbors = tuple(self.table.all_records()) if self.table else ()
-        self.send(self.server_host, m.LeaveRequest(self.user_id, neighbors))
+        self._send_to_server(
+            "leave",
+            lambda: m.LeaveRequest(self.user_id, neighbors),
+            # done once the final multicast detached us
+            done=lambda: self.network.node_at(self.host) is not self,
+        )
+
+    # ------------------------------------------------------------------
+    # Key-server path with retry/timeout (requests can be dropped by an
+    # installed fault plan; the server handlers are idempotent)
+    # ------------------------------------------------------------------
+    def _send_to_server(self, key, make_msg, done, attempt: int = 0) -> None:
+        self.send(self.server_host, make_msg())
+        if attempt >= self.max_server_retries:
+            return
+
+        def retry() -> None:
+            self._server_retry_events.pop(key, None)
+            if done() or self.network.node_at(self.host) is not self:
+                return
+            self.stats.server_retries += 1
+            self._send_to_server(key, make_msg, done, attempt + 1)
+
+        self._server_retry_events[key] = self.network.simulator.schedule(
+            self.timeout * (2.0 ** attempt), retry
+        )
+
+    def _settle_server_call(self, key: str) -> None:
+        event = self._server_retry_events.pop(key, None)
+        if event is not None:
+            event.cancel()
 
     # ------------------------------------------------------------------
     # Message dispatch
@@ -331,11 +425,16 @@ class UserNode(Node):
             self._on_assigned(payload)
         elif isinstance(payload, m.MulticastMsg):
             self._on_multicast(payload)
+        elif isinstance(payload, m.RecoverResponse):
+            self._on_recover_response(payload)
 
     # ------------------------------------------------------------------
     # Join protocol: phases
     # ------------------------------------------------------------------
     def _on_grant(self, grant: m.JoinGrant) -> None:
+        if self.joined or self._phase is not None:
+            return  # duplicate grant (a retried request was also answered)
+        self._settle_server_call("join")
         if grant.assigned is not None:  # first join of the whole group
             self._finalize(grant.assigned)
             return
@@ -522,9 +621,16 @@ class UserNode(Node):
 
     def _notify_server(self, prefix: Id) -> None:
         self._phase = None
-        self.send(self.server_host, m.NotifyPrefix(prefix))
+        self._send_to_server(
+            "notify",
+            lambda: m.NotifyPrefix(prefix),
+            done=lambda: self.user_id is not None,
+        )
 
     def _on_assigned(self, msg: m.AssignedId) -> None:
+        if self.joined:
+            return  # duplicate assignment (retry raced the original)
+        self._settle_server_call("notify")
         self._departed.update(msg.departed)
         self._finalize(msg.record)
 
@@ -600,6 +706,62 @@ class UserNode(Node):
             )
             if slot is not None and not self.table.entry(*slot):
                 self._refill(*slot)
+
+    # ------------------------------------------------------------------
+    # Reference-[31] recovery: resync missed announcements from the server
+    # ------------------------------------------------------------------
+    def request_recovery(self) -> None:
+        """Ask the server for every interval announcement after the last
+        one this node saw.  A member whose multicast copy was dropped
+        misses the whole batch — joins, leaves, and its share of the
+        rekey message — and this unicast path restores all of it.  Run
+        it periodically (or after an interval-number gap is observed);
+        the request and response are themselves subject to the fault
+        plan, so repeated rounds converge."""
+        if not self.joined or self.leaving:
+            return
+        # Report the last *contiguously* seen interval: a member that
+        # joined mid-history holds {1} and still needs interval 0's
+        # membership (collect phases run under the same lossy network).
+        seen = set(self.copies_received)
+        last = -1
+        while last + 1 in seen:
+            last += 1
+        self.stats.recovery_requests += 1
+        self.send(self.server_host, m.RecoverRequest(last))
+
+    def _on_recover_response(self, response: m.RecoverResponse) -> None:
+        for update in sorted(response.updates, key=lambda u: u.interval):
+            if update.interval in self.copies_received:
+                continue  # the multicast copy arrived after we asked
+            self.copies_received.append(update.interval)
+            self.encryptions_received[update.interval] = (
+                self.encryptions_received.get(update.interval, 0)
+                + len(update.encryptions)
+            )
+            self.stats.recovered_updates += 1
+            self._apply_update(update)
+            if self.network.node_at(self.host) is not self:
+                return  # a recovered update announced our own departure
+
+    def refill_sweep(self) -> int:
+        """Anti-entropy round: issue a refill query for every empty
+        table entry.  Entries go quietly empty when a lossy network
+        drops the announcement that carried a joiner's record; an entry
+        whose subtree really is unpopulated draws an empty response, so
+        sweeping unconditionally is safe.  Returns queries sent."""
+        if self.table is None or self.user_id is None or self.leaving:
+            return 0
+        sent = 0
+        for i in range(self.scheme.num_digits):
+            for j in range(self.scheme.base):
+                if j == self.user_id[i]:
+                    continue
+                if not self.table.entry(i, j):
+                    before = self.stats.refills_sent
+                    self._refill(i, j)
+                    sent += self.stats.refills_sent - before
+        return sent
 
     # ------------------------------------------------------------------
     # Queries from other users

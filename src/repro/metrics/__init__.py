@@ -1,5 +1,6 @@
 """Measurement machinery for the paper's figures: inverse CDFs, latency
-metrics (stress / app-layer delay / RDP), and bandwidth accounting."""
+metrics (stress / app-layer delay / RDP), bandwidth accounting, and
+repair accounting for reliable delivery under injected faults."""
 
 from .stats import InverseCdf, RankedRuns, inverse_cdf, ranked_across_runs, summarize
 from .latency import LatencySample, alm_latency, tmesh_latency
@@ -9,8 +10,10 @@ from .bandwidth import (
     alm_unsplit_bandwidth,
     tmesh_bandwidth,
 )
+from .faults import RepairStats
 
 __all__ = [
+    "RepairStats",
     "InverseCdf",
     "RankedRuns",
     "inverse_cdf",

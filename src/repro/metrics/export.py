@@ -45,6 +45,30 @@ def write_table(path: str, header: Sequence[str], rows: Iterable[Sequence]) -> N
             writer.writerow(list(row))
 
 
+def write_repair_report(path: str, rows: Iterable[Dict[str, object]]) -> None:
+    """Reliability-sweep rows (loss rate, delivery ratio, repair
+    counters) as CSV.  The column set is the first row's key order and
+    floats are fixed to six digits, so a seeded sweep exports
+    byte-identical files run to run."""
+    rows = list(rows)
+    if not rows:
+        raise ValueError("repair report needs at least one row")
+    header = list(rows[0])
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for row in rows:
+            if list(row) != header:
+                raise ValueError(
+                    f"inconsistent repair-report columns: {list(row)} vs {header}"
+                )
+            rendered = [
+                f"{value:.6f}" if isinstance(value, float) else str(value)
+                for value in row.values()
+            ]
+            writer.writerow(rendered)
+
+
 def write_latency_comparison(prefix: str, comparison) -> Dict[str, str]:
     """Dump a Figs.-6-11 result (a ``LatencyComparison``) as six CSVs:
     {tmesh, nice} x {stress, delay, rdp}.  Returns metric -> path."""

@@ -4,15 +4,24 @@ A :class:`Network` binds a :class:`~repro.sim.engine.Simulator` to a
 :class:`~repro.net.topology.Topology`; nodes attach at topology hosts and
 exchange messages that arrive after the topology's one-way delay.  This is
 the substrate the secure-group application examples run on.
+
+Faults: a :class:`~repro.faults.FaultPlan` installed with
+:meth:`Network.install_faults` intercepts every send — it may drop the
+message, add latency (delay/reorder), or deliver extra copies — and
+models crash windows: a host that is down neither sends nor receives.
+The legacy ``drop_filter`` hook is kept for ad-hoc tests.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
 
 from ..net.topology import Topology
 from .engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..faults.plan import FaultPlan
 
 
 @dataclass
@@ -35,6 +44,13 @@ class Network:
         self.stats = MessageStats()
         #: Optional fault hook: return True to drop a message.
         self.drop_filter: Optional[Callable[[int, int, Any], bool]] = None
+        #: Optional declarative fault schedule (see :mod:`repro.faults`).
+        self.fault_plan: Optional["FaultPlan"] = None
+
+    def install_faults(self, plan: Optional["FaultPlan"]) -> None:
+        """Attach (or, with ``None``, remove) a fault plan; every
+        subsequent send is filtered through it."""
+        self.fault_plan = plan
 
     def attach(self, node: "Node") -> None:
         if node.host in self._nodes:
@@ -49,14 +65,28 @@ class Network:
 
     def send(self, src: int, dst: int, payload: Any) -> None:
         """Queue a message; it arrives after the topology one-way delay
-        unless the destination detached or the drop filter eats it."""
+        unless the destination detached, the drop filter eats it, or the
+        fault plan drops it.  The fault plan may also deliver the message
+        late (delay/reorder) or more than once (duplication)."""
         self.stats.sent += 1
         if self.drop_filter is not None and self.drop_filter(src, dst, payload):
             self.stats.dropped += 1
             return
+        plan = self.fault_plan
+        if plan is None:
+            extra_delays = (0.0,)
+        else:
+            extra_delays = plan.apply(src, dst, payload, self.simulator.now)
+            if not extra_delays:
+                self.stats.dropped += 1
+                return
         delay = self.topology.one_way_delay(src, dst)
 
         def deliver() -> None:
+            if plan is not None and plan.is_down(dst, self.simulator.now):
+                plan.stats.crash_drops += 1
+                self.stats.dropped += 1
+                return
             node = self._nodes.get(dst)
             if node is None:
                 self.stats.dropped += 1
@@ -64,7 +94,8 @@ class Network:
             self.stats.delivered += 1
             node.on_message(src, payload)
 
-        self.simulator.schedule(delay, deliver)
+        for extra in extra_delays:
+            self.simulator.schedule(delay + extra, deliver)
 
 
 class Node:

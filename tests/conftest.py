@@ -7,14 +7,63 @@ by tests that share them (tests that mutate state build their own).
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.core import Group, IdAssigner, IdScheme, PAPER_SCHEME
+from repro.core.neighbor_table import (
+    UserRecord,
+    build_consistent_tables,
+    build_server_table,
+)
 from repro.net import PlanetLabTopology, TransitStubParams, TransitStubTopology
+from repro.net.planetlab import MatrixTopology
+
+# ----------------------------------------------------------------------
+# Hypothesis profiles: "ci" keeps property tests fast enough for every
+# push; "thorough" is the local soak (HYPOTHESIS_PROFILE=thorough pytest).
+# Tests with an explicit @settings(...) override these baselines.
+# ----------------------------------------------------------------------
+settings.register_profile(
+    "ci",
+    max_examples=25,
+    stateful_step_count=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "thorough",
+    max_examples=250,
+    stateful_step_count=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "ci"))
 
 #: A small ID space that makes collisions and fallbacks reachable in tests.
 SMALL_SCHEME = IdScheme(num_digits=3, base=4)
+
+
+def make_static_world(scheme, ids, seed=0, k=1):
+    """Random-geometry topology + K-consistent tables for a fixed ID set
+    (hosts 0..n-1 are the users, host n is the key server)."""
+    n = len(ids) + 1
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 100, size=(n, 2))
+    matrix = np.sqrt(
+        ((points[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+    )
+    matrix = (matrix + matrix.T) / 2
+    np.fill_diagonal(matrix, 0.0)
+    topology = MatrixTopology(matrix)
+    records = [UserRecord(uid, host) for host, uid in enumerate(ids)]
+    tables = build_consistent_tables(scheme, records, topology.rtt, k=k)
+    server_table = build_server_table(scheme, n - 1, records, topology.rtt, k=k)
+    return topology, records, tables, server_table
+
 
 TINY_GTITM = TransitStubParams(
     transit_domains=3,

@@ -1,0 +1,141 @@
+"""Model-based churn test: random joins, leaves, and crashes driven
+against :class:`repro.core.membership.Group` and
+:class:`repro.keytree.modified_tree.ModifiedKeyTree` in lockstep.
+
+The machine mirrors the wire protocol's timing: a leave or crash is
+*queued* during the interval (the departing user keeps serving — exactly
+how the distributed protocol works) and takes effect at the batch rekey,
+when the group applies the removal and repairs its tables.  Invariants:
+
+* group membership and key-tree users agree at every step;
+* the key tree's node set equals the ID tree induced by its users
+  (Section 2.4's structural-agreement requirement);
+* neighbor tables stay K-consistent (Definition 3) through any churn;
+* after a batch, a departed user holds no valid key: every key on its
+  old path is either pruned or re-versioned, and no rekey encryption is
+  readable with the versions it held (forward secrecy).
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.core.id_assignment import IdAssigner
+from repro.core.id_tree import IdTree
+from repro.core.ids import IdScheme
+from repro.core.membership import Group
+from repro.core.neighbor_table import check_k_consistency
+from repro.experiments.common import _default_thresholds
+from repro.keytree.modified_tree import ModifiedKeyTree
+from repro.net.planetlab import MatrixTopology
+
+SCHEME = IdScheme(num_digits=3, base=3)
+N_HOSTS = 16  # 15 user hosts + the key server
+
+
+def small_topology(seed=0):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 100, size=(N_HOSTS, 2))
+    matrix = np.sqrt(
+        ((points[:, None, :] - points[None, :, :]) ** 2).sum(axis=2)
+    )
+    matrix = (matrix + matrix.T) / 2
+    np.fill_diagonal(matrix, 0.0)
+    return MatrixTopology(matrix)
+
+
+class ChurnMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.group = Group(
+            SCHEME,
+            small_topology(),
+            server_host=N_HOSTS - 1,
+            assigner=IdAssigner(SCHEME, _default_thresholds(SCHEME)),
+            k=2,
+            rng=np.random.default_rng(1),
+        )
+        self.key_tree = ModifiedKeyTree(SCHEME)
+        self.free_hosts = set(range(N_HOSTS - 1))
+        self.host_of = {}
+        self.pending = {}  # departing uid -> "leave" | "fail"
+
+    # ------------------------------------------------------------------
+    @rule(data=st.data())
+    def join(self, data):
+        if not self.free_hosts:
+            return
+        host = data.draw(st.sampled_from(sorted(self.free_hosts)), label="host")
+        uid = self.group.join(host).record.user_id
+        self.key_tree.request_join(uid)
+        self.host_of[uid] = host
+        self.free_hosts.discard(host)
+
+    @rule(data=st.data())
+    def leave(self, data):
+        self._depart(data, "leave")
+
+    @rule(data=st.data())
+    def crash(self, data):
+        self._depart(data, "fail")
+
+    def _depart(self, data, kind):
+        candidates = sorted(set(self.group.records) - set(self.pending))
+        if not candidates:
+            return
+        uid = data.draw(st.sampled_from(candidates), label=kind)
+        self.key_tree.request_leave(uid)
+        self.pending[uid] = kind
+
+    @rule()
+    def batch(self):
+        held = {
+            uid: {
+                key_id: self.key_tree.node_version(key_id)
+                for key_id in self.key_tree.path_key_ids(uid)
+            }
+            for uid in self.pending
+        }
+        message = self.key_tree.process_batch()
+        for uid, kind in self.pending.items():
+            if kind == "leave":
+                self.group.leave(uid)
+            else:
+                self.group.fail(uid)
+            self.free_hosts.add(self.host_of.pop(uid))
+        self.group.repair_tables()
+        # Forward secrecy: nothing a departed user held stays valid.
+        for uid, held_keys in held.items():
+            assert not self.key_tree.has_node(uid)
+            for key_id, version in held_keys.items():
+                if self.key_tree.has_node(key_id):
+                    assert self.key_tree.node_version(key_id) > version
+            for enc in message.encryptions:
+                assert enc.encrypting_key_id != uid
+                if enc.encrypting_key_id in held_keys:
+                    assert enc.encrypting_version > held_keys[enc.encrypting_key_id]
+        self.pending = {}
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def memberships_agree(self):
+        assert self.key_tree.user_ids == set(self.group.records)
+
+    @invariant()
+    def key_tree_matches_id_tree(self):
+        expected = set(IdTree(SCHEME, self.key_tree.user_ids).node_ids())
+        assert set(self.key_tree._versions) == expected
+
+    @invariant()
+    def tables_stay_k_consistent(self):
+        problems = check_k_consistency(
+            self.group.tables, self.group.id_tree, self.group.k
+        )
+        assert problems == []
+
+
+TestChurnMachine = ChurnMachine.TestCase
+TestChurnMachine.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

@@ -266,3 +266,113 @@ class TestFailureDetection:
         active_ids = {u.user_id for u in world.active_users()}
         assert report["received"] >= active_ids
         assert not (set(report["duplicates"]) & active_ids)
+
+
+@pytest.mark.faults
+class TestLossRecovery:
+    """Reference-[31] unicast recovery: a member whose interval
+    announcement copies were dropped resyncs from the server's history."""
+
+    def _world_dropping_multicast_to(self, victim_host, start=0.0):
+        from repro.distributed import messages as m
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(seed=1).drop(
+            1.0,
+            dst=victim_host,
+            start=start,
+            match=lambda s, d, p: isinstance(p, m.MulticastMsg),
+        )
+        topology = TransitStubTopology(num_hosts=41, params=PARAMS, seed=5)
+        return DistributedGroup(
+            topology, server_host=40, seed=5, fault_plan=plan
+        )
+
+    def test_missed_announcements_recovered_by_unicast(self):
+        # Host 0 never receives a multicast copy: it misses interval 0's
+        # joins and interval 1's leave, then resyncs both by unicast.
+        world = self._world_dropping_multicast_to(0)
+        for i in range(8):
+            world.schedule_join(i, at=1.0 + 300.0 * i)
+        world.end_interval(at=5000.0)
+        world.schedule_leave_of_host(3, at=6000.0)
+        world.end_interval(at=7000.0)
+        world.run(until=7900.0)
+        victim = world.users[0]
+        assert victim.copies_received == []
+        problems = world.check_one_consistency()
+        assert any(str(victim.user_id) in p for p in problems)
+
+        world.schedule_recovery_round(at=8000.0)
+        world.run()
+        assert victim.stats.recovered_updates == 2
+        assert sorted(victim.copies_received) == [0, 1]
+        assert world.check_one_consistency() == []
+
+    def test_recovery_applies_a_missed_departure(self):
+        # Interval 0 reaches host 1 normally (it learns the leaver's
+        # record); only interval 1's announcement is dropped.
+        world = self._world_dropping_multicast_to(1, start=6500.0)
+        for i in range(6):
+            world.schedule_join(i, at=1.0 + 300.0 * i)
+        world.end_interval(at=5000.0)
+        leaver = world.users[4]
+        world.schedule_leave_of_host(4, at=6000.0)
+        world.end_interval(at=7000.0)
+        world.run(until=7900.0)
+        victim = world.users[1]
+        stale = {r.user_id for r in victim.table.all_records()}
+        assert leaver.user_id in stale  # the departure never reached it
+
+        world.schedule_recovery_round(at=8000.0)
+        world.run()
+        fresh = {r.user_id for r in victim.table.all_records()}
+        assert leaver.user_id not in fresh
+        assert world.check_one_consistency() == []
+
+    def test_late_joiner_requests_the_full_history(self):
+        # A member that joined at interval 1 holds copies {1} only; its
+        # recovery request must still pull interval 0 (contiguity from
+        # zero), and re-applying known records is harmless.
+        world = make_world()
+        for i in range(4):
+            world.schedule_join(i, at=1.0 + 300.0 * i)
+        world.end_interval(at=5000.0)
+        world.schedule_join(4, at=6000.0)
+        world.schedule_join(5, at=6300.0)
+        world.end_interval(at=9000.0)
+        world.run()
+        late = world.users[5]
+        assert sorted(set(late.copies_received)) == [1]
+
+        world.schedule_recovery_round(at=10_000.0)
+        world.run()
+        assert sorted(set(late.copies_received)) == [0, 1]
+        assert late.stats.recovered_updates == 1
+        assert world.check_one_consistency() == []
+
+    def test_recovery_round_is_a_no_op_when_synced(self):
+        world = make_world()
+        for i in range(6):
+            world.schedule_join(i, at=1.0 + 300.0 * i)
+        world.end_interval(at=5000.0)
+        world.run()
+        assert world.check_one_consistency() == []
+        world.schedule_recovery_round(at=6000.0)
+        world.run()
+        assert all(
+            u.stats.recovered_updates == 0 for u in world.users.values()
+        )
+        assert world.check_one_consistency() == []
+
+    def test_refill_sweep_is_safe_on_consistent_tables(self):
+        world = make_world()
+        for i in range(6):
+            world.schedule_join(i, at=1.0 + 300.0 * i)
+        world.end_interval(at=5000.0)
+        world.run()
+        assert world.check_one_consistency() == []
+        world.schedule_refill_sweep(at=6000.0)
+        world.run()
+        # legitimately-empty entries draw empty responses; nothing changes
+        assert world.check_one_consistency() == []

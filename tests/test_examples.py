@@ -32,4 +32,5 @@ def test_expected_examples_present():
         "failure_recovery",
         "distributed_protocol",
         "lossy_wan",
+        "fault_injection",
     } <= names

@@ -84,6 +84,86 @@ class TestSimulator:
         assert sim.events_processed == 1
 
 
+class TestSimulatorEdgeCases:
+    """Tie-breaking and cancellation corners the repair protocol leans on
+    (pending-NACK cancellation, zero-delay rescheduling, FIFO ties)."""
+
+    def test_cancel_from_a_simultaneous_earlier_event(self):
+        # A and B fire at the same time; A was scheduled first, so it runs
+        # first and may still cancel B.
+        sim = Simulator()
+        log = []
+        later = {}
+        sim.schedule(1.0, lambda: (log.append("a"), later["b"].cancel()))
+        later["b"] = sim.schedule(1.0, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a"]
+        assert sim.events_processed == 1
+
+    def test_canceled_head_does_not_block_run(self):
+        sim = Simulator()
+        log = []
+        head = sim.schedule(1.0, lambda: log.append("head"))
+        sim.schedule(2.0, lambda: log.append("tail"))
+        head.cancel()
+        sim.run(until=5.0)
+        assert log == ["tail"]
+        assert sim.now == 5.0
+
+    def test_run_with_only_canceled_events(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None).cancel()
+        sim.schedule(2.0, lambda: None).cancel()
+        assert sim.run() == 0
+        assert sim.pending == 0
+        assert sim.events_processed == 0
+
+    def test_zero_delay_self_rescheduling_is_fifo(self):
+        # A zero-delay reschedule goes to the *back* of the same-time
+        # cohort: other events already queued at that time run in between.
+        sim = Simulator()
+        log = []
+        count = [0]
+
+        def tick():
+            log.append(("tick", count[0]))
+            count[0] += 1
+            if count[0] < 3:
+                sim.schedule(0.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.schedule(1.0, lambda: log.append(("other", 0)))
+        sim.run()
+        assert log == [("tick", 0), ("other", 0), ("tick", 1), ("tick", 2)]
+        assert sim.now == 1.0
+
+    def test_max_events_bounds_a_zero_delay_loop(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(1.0, forever)
+        assert sim.run(max_events=50) == 50
+        assert sim.now == 1.0
+
+    def test_schedule_at_current_time_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: sim.schedule_at(sim.now, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_schedule_and_schedule_at_share_fifo_order(self):
+        sim = Simulator()
+        log = []
+        sim.schedule(3.0, lambda: log.append("relative"))
+        sim.schedule_at(3.0, lambda: log.append("absolute"))
+        sim.schedule(3.0, lambda: log.append("relative-2"))
+        sim.run()
+        assert log == ["relative", "absolute", "relative-2"]
+
+
 class EchoNode(Node):
     def __init__(self, network, host):
         super().__init__(network, host)

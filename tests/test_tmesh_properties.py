@@ -1,0 +1,140 @@
+"""Property-based tests for the T-mesh: Theorem 1 and Lemmas 1-2 over
+random 1-consistent tables, and the reliable transport's repair guarantee
+under random fault plans.
+
+The hypothesis profiles are registered in ``tests/conftest.py``:
+``HYPOTHESIS_PROFILE=thorough pytest tests/test_tmesh_properties.py``
+runs the deep version of these properties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from tests.conftest import make_static_world
+from repro.alm.reliable import ReliableSession
+from repro.core.ids import Id, IdScheme
+from repro.core.tmesh import rekey_session, run_multicast
+from repro.faults import FaultPlan
+
+SCHEME = IdScheme(3, 4)
+
+id_sets = st.sets(
+    st.tuples(*[st.integers(0, SCHEME.base - 1)] * SCHEME.num_digits),
+    min_size=1,
+    max_size=20,
+)
+seeds = st.integers(0, 10_000)
+
+
+def to_ids(id_tuples):
+    return [Id(t) for t in sorted(id_tuples)]
+
+
+class TestTheorem1Properties:
+    @given(id_sets, seeds)
+    def test_exactly_once_and_lemmas(self, id_tuples, seed):
+        """One random world, all three claims at once: Theorem 1
+        (exactly-once) and Lemmas 1-2 (downstream == prefix sharers)."""
+        ids = to_ids(id_tuples)
+        topology, _, tables, server_table = make_static_world(
+            SCHEME, ids, seed=seed
+        )
+        session = rekey_session(server_table, tables, topology)
+        # Theorem 1
+        assert set(session.receipts) == set(ids)
+        assert session.duplicate_copies == {}
+        # Lemmas 1-2: the users downstream of a level-i member are
+        # exactly the other users sharing its first i digits.
+        for member, receipt in session.receipts.items():
+            level = receipt.forward_level
+            downstream = set(session.downstream_users(member))
+            sharers = {
+                other
+                for other in ids
+                if other != member and other.shares_prefix(member, level)
+            }
+            assert downstream == sharers
+
+    @given(id_sets, seeds, st.integers(1, 4))
+    def test_exactly_once_for_any_k(self, id_tuples, seed, k):
+        ids = to_ids(id_tuples)
+        topology, _, tables, server_table = make_static_world(
+            SCHEME, ids, seed=seed, k=k
+        )
+        session = rekey_session(server_table, tables, topology)
+        assert set(session.receipts) == set(ids)
+        assert session.duplicate_copies == {}
+
+
+class TestFaultPlanProperties:
+    @given(id_sets, seeds, st.floats(0.05, 0.5))
+    def test_unrepaired_transport_never_invents_receivers(
+        self, id_tuples, seed, loss
+    ):
+        """The lossy (unrepaired) FORWARD can only lose receipts, never
+        create members or duplicate under pure drops."""
+        ids = to_ids(id_tuples)
+        topology, _, tables, server_table = make_static_world(
+            SCHEME, ids, seed=seed
+        )
+        plan = FaultPlan(seed=seed).drop(loss)
+        session = run_multicast(
+            server_table, tables, topology, fault_plan=plan
+        )
+        assert set(session.receipts) <= set(ids)
+        assert session.duplicate_copies == {}
+
+    @given(
+        st.sets(
+            st.tuples(*[st.integers(0, SCHEME.base - 1)] * SCHEME.num_digits),
+            min_size=2,
+            max_size=12,
+        ),
+        st.integers(0, 10_000),
+        st.floats(0.0, 0.25),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_repair_restores_exactly_once(self, id_tuples, seed, loss):
+        """The tentpole property: under any drawn drop rate up to 25%,
+        every member eventually holds exactly one copy of every payload
+        after NACK repair — Theorem 1's guarantee, restored."""
+        ids = to_ids(id_tuples)
+        topology, _, tables, server_table = make_static_world(
+            SCHEME, ids, seed=seed
+        )
+        plan = FaultPlan(seed=seed).drop(loss)
+        session = ReliableSession(tables, server_table, topology, plan=plan)
+        payloads = ["k0", "k1", "k2"]
+        outcome = session.multicast(payloads)
+        assert outcome.delivery_ratio == 1.0
+        assert outcome.duplicates_surfaced == 0
+        for got in outcome.delivered.values():
+            assert got == payloads
+
+    @given(
+        st.sets(
+            st.tuples(*[st.integers(0, SCHEME.base - 1)] * SCHEME.num_digits),
+            min_size=3,
+            max_size=10,
+        ),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_repair_with_mixed_faults(self, id_tuples, seed):
+        """Drops, duplicates, and reordering together still end in
+        exactly-once for every member."""
+        ids = to_ids(id_tuples)
+        topology, _, tables, server_table = make_static_world(
+            SCHEME, ids, seed=seed
+        )
+        plan = (
+            FaultPlan(seed=seed)
+            .drop(0.15)
+            .duplicate(0.15)
+            .reorder(0.2, spread=80.0)
+        )
+        session = ReliableSession(tables, server_table, topology, plan=plan)
+        outcome = session.multicast(["a", "b", "c", "d"])
+        assert outcome.delivery_ratio == 1.0
+        assert outcome.duplicates_surfaced == 0
