@@ -21,6 +21,13 @@ def pytest_configure(config):
     _CAPTURE_MANAGER = config.pluginmanager.getplugin("capturemanager")
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ belongs to the ``bench`` lane
+    (``pytest benchmarks/ -m bench``), keeping it out of tier-1 runs."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def scale():
     return current_scale()

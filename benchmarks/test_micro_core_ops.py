@@ -9,9 +9,11 @@ assignment for a single joiner.
 import numpy as np
 import pytest
 
+import time
+
 from repro.core.ids import Id, PAPER_SCHEME
 from repro.core.splitting import next_hop_needs, run_split_rekey
-from repro.core.tmesh import rekey_session
+from repro.core.tmesh import plan_session, rekey_session
 from repro.experiments.common import build_group, build_topology
 from repro.keytree.modified_tree import ModifiedKeyTree
 from repro.keytree.original_tree import OriginalKeyTree
@@ -91,6 +93,57 @@ def test_bench_original_tree_batch(benchmark):
         return tree.process_batch(np.random.default_rng(0)).rekey_cost
 
     assert benchmark(batch) > 0
+
+
+@pytest.fixture(scope="module")
+def world_1024():
+    topology = build_topology("gtitm", 1024, seed=20)
+    group = build_group(topology, 1024, seed=20)
+    session = rekey_session(group.server_table, group.tables, topology)
+    return topology, group, session
+
+
+def test_bench_user_stress_indexed_1024(benchmark, world_1024):
+    """The src-indexed user_stress sweep at 1024 users, plus a proof that
+    the index changed the complexity class: one full sweep is O(E) via the
+    index versus O(U * E) via the reference scan."""
+    _, group, session = world_1024
+
+    def indexed_sweep():
+        total = 0
+        for member in session.receipts:
+            total += session.user_stress(member)
+        return total
+
+    indexed_total = benchmark(indexed_sweep)
+
+    t0 = time.perf_counter()
+    scan_total = sum(
+        session.user_stress_scan(member) for member in session.receipts
+    )
+    scan_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    indexed_sweep()
+    indexed_time = time.perf_counter() - t0
+
+    assert indexed_total == scan_total
+    # The asymptotic gap at 1024 users is ~three orders of magnitude; 5x
+    # keeps the assertion robust on slow or noisy machines.
+    assert scan_time > 5 * indexed_time, (
+        f"index no faster than scan: {indexed_time:.6f}s vs {scan_time:.6f}s"
+    )
+    benchmark.extra_info["scan_over_indexed"] = scan_time / indexed_time
+
+
+def test_bench_planned_rekey_session_1024(benchmark, world_1024):
+    """Rekey fan-out with a reusable SessionPlan (periodic rekeying with
+    unchanged tables — the paper's steady-state case)."""
+    topology, group, reference = world_1024
+    plan = plan_session(group.server_table, group.tables)
+    session = benchmark(
+        rekey_session, group.server_table, group.tables, topology, plan=plan
+    )
+    assert session.receipts == reference.receipts
 
 
 def test_bench_single_join_id_assignment(benchmark, world):

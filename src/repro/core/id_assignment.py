@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..net.topology import Topology
+from ..perf import percentile_linear
 from .id_tree import IdTree
 from .ids import Id, IdScheme, NULL_ID
 from .neighbor_table import UserRecord
@@ -141,15 +142,23 @@ class IdAssigner:
             queries=self._last_query_count,
         )
         # Steps 2 & 3: gateway-to-gateway RTTs and the percentile rule.
+        # The per-pool pings are batched (r(u, w) = h(u,w) - h(u,gw_u) -
+        # h(w,gw_w), floored at zero, with the scalar path's operand
+        # order), and the F-percentile uses the exact scalar equivalent of
+        # np.percentile's linear method.
         best_digit, best_value = None, float("inf")
         for j, pool in pools.items():
             if not pool:
                 continue
-            rtts = [
-                self._gateway_rtt(joiner_host, joiner_access_rtt, rec, topology)
-                for rec in pool.values()
-            ]
-            f_ij = float(np.percentile(rtts, self.percentile))
+            records = list(pool.values())
+            end_to_end = topology.rtt_many(
+                joiner_host, [rec.host for rec in records]
+            )
+            access = np.array(
+                [rec.access_rtt for rec in records], dtype=np.float64
+            )
+            rtts = np.maximum(0.0, (end_to_end - joiner_access_rtt) - access)
+            f_ij = percentile_linear(rtts, self.percentile)
             decision.percentiles[j] = f_ij
             if f_ij < best_value:
                 best_digit, best_value = j, f_ij
@@ -186,18 +195,24 @@ class IdAssigner:
         """
         self._last_query_count = 0
         pools: Dict[int, Dict[Id, UserRecord]] = {}
+        pd = prefix.digits
+        npd = len(pd)
 
         def absorb(record: UserRecord) -> None:
-            if not prefix.is_prefix_of(record.user_id):
+            uid = record.user_id
+            rd = uid.digits
+            if rd[:npd] != pd:
                 return
-            known[record.user_id] = record
-            digit = record.user_id[i]
-            pools.setdefault(digit, {})[record.user_id] = record
+            known[uid] = record
+            pool = pools.get(rd[i])
+            if pool is None:
+                pool = pools[rd[i]] = {}
+            pool[uid] = record
 
         # Initial phase: one query to a known user carrying the prefix
         # (Section 3.1.1).  K-consistency of the responder's table makes a
         # single response discover every populated (i, j)-ID subtree.
-        seeds = [r for r in known.values() if prefix.is_prefix_of(r.user_id)]
+        seeds = [r for r in known.values() if r.user_id.digits[:npd] == pd]
         for seed in seeds:
             absorb(seed)
         queried = set()
@@ -241,14 +256,18 @@ def complete_user_id(
     rng = rng if rng is not None else np.random.default_rng()
 
     def fresh_digit(base_prefix: Id) -> Optional[int]:
-        free = [
-            j
-            for j in range(scheme.base)
-            if not id_tree.has_node(base_prefix.extend(j))
-        ]
-        if not free:
-            return None
-        return int(free[int(rng.integers(0, len(free)))])
+        # The ID tree indexes each node's populated child digits, so the
+        # free set needs no per-digit has_node probes.
+        taken = id_tree.child_digits(base_prefix)
+        if not taken:
+            free = range(scheme.base)
+            count = scheme.base
+        else:
+            free = [j for j in range(scheme.base) if j not in taken]
+            count = len(free)
+            if not count:
+                return None
+        return int(free[int(rng.integers(0, count))])
 
     def complete_with_zeros(stem: Id) -> Id:
         return Id(stem.digits + (0,) * (scheme.num_digits - len(stem)))

@@ -31,6 +31,11 @@ class IdTree:
         # Maps each existing tree-node ID (prefix) to the set of user IDs
         # belonging to that node's subtree.
         self._members: Dict[Id, Set[Id]] = {}
+        # Maps each existing tree-node ID to the set of digits of its
+        # existing children, kept incrementally so "which child slots are
+        # taken" queries need no per-digit probing (hot in the server-side
+        # ID-completion step).
+        self._child_digits: Dict[Id, Set[int]] = {}
         for uid in user_ids:
             self.add_user(uid)
 
@@ -42,8 +47,15 @@ class IdTree:
         self.scheme.validate_user_id(user_id)
         if user_id in self._members.get(NULL_ID, ()):  # already present
             raise ValueError(f"user {user_id} already in ID tree")
+        parent = None
         for level in range(self.scheme.num_digits + 1):
-            self._members.setdefault(user_id.prefix(level), set()).add(user_id)
+            prefix = user_id.prefix(level)
+            self._members.setdefault(prefix, set()).add(user_id)
+            if level > 0:
+                self._child_digits.setdefault(parent, set()).add(
+                    user_id.digits[level - 1]
+                )
+            parent = prefix
 
     def remove_user(self, user_id: Id) -> None:
         """Remove a user; prunes nodes left without descendants."""
@@ -55,6 +67,13 @@ class IdTree:
             members.discard(user_id)
             if not members:
                 del self._members[prefix]
+                if level > 0:
+                    parent = user_id.prefix(level - 1)
+                    digits = self._child_digits.get(parent)
+                    if digits is not None:
+                        digits.discard(user_id.digits[level - 1])
+                        if not digits:
+                            del self._child_digits[parent]
 
     # ------------------------------------------------------------------
     # Queries
@@ -91,11 +110,13 @@ class IdTree:
         """Existing child node IDs of ``node_id``, in digit order."""
         if node_id not in self._members or len(node_id) >= self.scheme.num_digits:
             return []
-        return [
-            node_id.extend(j)
-            for j in range(self.scheme.base)
-            if node_id.extend(j) in self._members
-        ]
+        return [node_id.extend(j) for j in sorted(self._child_digits.get(node_id, ()))]
+
+    def child_digits(self, node_id: Id) -> Set[int]:
+        """Digits of the existing children of ``node_id`` (empty when the
+        node does not exist or is a leaf).  O(1) lookup against an
+        incrementally maintained index."""
+        return self._child_digits.get(node_id, set())
 
     def nodes_at_level(self, level: int) -> List[Id]:
         """All node IDs at a given level (level = number of digits)."""

@@ -8,15 +8,28 @@ type, :class:`Id`, therefore serves as user ID, ID-tree node ID, key ID and
 encryption ID; the distinction is only its length.
 
 The null string (the ID-tree root, printed ``[]``) is ``Id(())``.
+
+Performance notes: :class:`Id` objects are the dictionary keys of every
+hot path in the simulator (receipts, neighbor tables, the ID tree), and
+``prefix()`` feeds both the FORWARD fan-out and the Theorem-2 splitting
+predicate.  The hash is therefore computed once at construction, and
+prefixes are interned per instance so repeated ``prefix()`` /
+``__getitem__`` slicing returns the same object without allocating.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 
-@dataclass(frozen=True)
+def _restore_id(digits: Tuple[int, ...]) -> "Id":
+    """Pickle helper: rebuild an :class:`Id` from its digit tuple without
+    dragging the per-instance prefix cache through the pickle stream."""
+    return Id._from_digits(digits)
+
+
+@dataclass(frozen=True, eq=False)
 class Id:
     """An immutable string of digits, e.g. a user ID or a key ID.
 
@@ -29,16 +42,59 @@ class Id:
     digits: Tuple[int, ...]
 
     def __init__(self, digits: Iterable[int] = ()):
-        object.__setattr__(self, "digits", tuple(int(d) for d in digits))
-        if any(d < 0 for d in self.digits):
-            raise ValueError(f"ID digits must be non-negative: {self.digits}")
+        # Coerce and validate in a single pass (digits may arrive as numpy
+        # integers; they must become plain ints for stable hashing).
+        out = []
+        append = out.append
+        for d in digits:
+            d = int(d)
+            if d < 0:
+                raise ValueError(f"ID digits must be non-negative: got {d}")
+            append(d)
+        ds = tuple(out)
+        object.__setattr__(self, "digits", ds)
+        object.__setattr__(self, "_hash", hash(ds))
+        object.__setattr__(self, "_prefixes", None)
+
+    @classmethod
+    def _from_digits(cls, ds: Tuple[int, ...]) -> "Id":
+        """Internal fast constructor for digit tuples that are already
+        validated plain-int tuples (prefixes/extensions of existing IDs)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "digits", ds)
+        object.__setattr__(self, "_hash", hash(ds))
+        object.__setattr__(self, "_prefixes", None)
+        return self
+
+    def __reduce__(self):
+        return (_restore_id, (self.digits,))
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if self is other:
+            return True
+        if isinstance(other, Id):
+            return self.digits == other.digits
+        return NotImplemented
+
+    def __ne__(self, other) -> bool:
+        if self is other:
+            return False
+        if isinstance(other, Id):
+            return self.digits != other.digits
+        return NotImplemented
 
     def __len__(self) -> int:
         return len(self.digits)
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return Id(self.digits[index])
+            start, stop, step = index.indices(len(self.digits))
+            if start == 0 and step == 1:
+                return self.prefix(stop)
+            return Id._from_digits(self.digits[index])
         return self.digits[index]
 
     def __iter__(self) -> Iterator[int]:
@@ -65,22 +121,39 @@ class Id:
         ``i < 0`` (Table 1)."""
         if length <= 0:
             return NULL_ID
-        return Id(self.digits[:length])
+        ds = self.digits
+        if length >= len(ds):
+            return self
+        cache: Optional[Dict[int, Id]] = self._prefixes
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_prefixes", cache)
+        p = cache.get(length)
+        if p is None:
+            p = Id._from_digits(ds[:length])
+            cache[length] = p
+        return p
 
     def is_prefix_of(self, other: "Id") -> bool:
         """Prefix test.  An ID is a prefix of itself, and the null string is
         a prefix of any ID (Section 2.1)."""
-        n = len(self.digits)
-        return len(other.digits) >= n and other.digits[:n] == self.digits
+        sd = self.digits
+        n = len(sd)
+        if n == 0:
+            return True
+        od = other.digits
+        return len(od) >= n and od[:n] == sd
 
     def shares_prefix(self, other: "Id", length: int) -> bool:
         """True iff both IDs agree on their first ``length`` digits."""
         if length <= 0:
             return True
+        sd = self.digits
+        od = other.digits
         return (
-            len(self.digits) >= length
-            and len(other.digits) >= length
-            and self.digits[:length] == other.digits[:length]
+            len(sd) >= length
+            and len(od) >= length
+            and sd[:length] == od[:length]
         )
 
     def common_prefix_len(self, other: "Id") -> int:
@@ -94,13 +167,16 @@ class Id:
 
     def extend(self, digit: int) -> "Id":
         """A new ID with ``digit`` appended."""
-        return Id(self.digits + (int(digit),))
+        d = int(digit)
+        if d < 0:
+            raise ValueError(f"ID digits must be non-negative: got {d}")
+        return Id._from_digits(self.digits + (d,))
 
     def parent(self) -> "Id":
         """The ID with the last digit removed (the parent ID-tree node)."""
         if self.is_null:
             raise ValueError("the null ID has no parent")
-        return Id(self.digits[:-1])
+        return self.prefix(len(self.digits) - 1)
 
 
 #: The null string "[]" — the ID of the ID-tree root and of the key server.

@@ -92,10 +92,14 @@ class Group:
         table = self.tables.get(responder.user_id)
         if table is None:
             return []
+        tp = target_prefix.digits
+        n = len(tp)
+        if n == 0:
+            return list(table.all_records())
         return [
             record
             for record in table.all_records()
-            if target_prefix.is_prefix_of(record.user_id)
+            if record.user_id.digits[:n] == tp
         ]
 
     # ------------------------------------------------------------------
@@ -133,18 +137,27 @@ class Group:
         self.records[user_id] = record
         self._host_of_user[user_id] = record.host
         # Build the new user's table from the current population (the
-        # consistent state the Silk join converges to).
+        # consistent state the Silk join converges to).  Both RTT sweeps
+        # are batched against the topology's dense matrix when available;
+        # operand orientation matches the scalar calls they replace.
         table = NeighborTable(self.scheme, record, self.k)
-        for other in self.records.values():
-            if other.user_id != user_id:
-                table.insert(other, self._rtt(record.host, other.host))
+        others = [o for o in self.records.values() if o.user_id != user_id]
+        if others:
+            out_rtts = self.topology.rtt_many(
+                record.host, [o.host for o in others]
+            )
+            table.fill(zip(others, map(float, out_rtts)))
         self.tables[user_id] = table
         # Everyone else (and the server) learns about the new user.
-        for other_id, other_table in self.tables.items():
-            if other_id != user_id:
-                other_table.insert(
-                    record, self._rtt(other_table.owner.host, record.host)
-                )
+        other_tables = [
+            t for oid, t in self.tables.items() if oid != user_id
+        ]
+        if other_tables:
+            in_rtts = self.topology.rtt_to_many(
+                record.host, [t.owner.host for t in other_tables]
+            )
+            for other_table, r in zip(other_tables, in_rtts):
+                other_table.insert(record, float(r))
         self.server_table.insert(record, self._rtt(self.server_host, record.host))
 
     # ------------------------------------------------------------------

@@ -19,7 +19,8 @@ multicast delivery relies on; ``K > 1`` buys failure resilience.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from operator import itemgetter
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from .id_tree import IdTree
 from .ids import Id, IdScheme
@@ -42,12 +43,19 @@ class UserRecord:
     join_time: float = 0.0
 
 
+#: Sort key for (rtt, record) pairs; records themselves are not ordered,
+#: so entries sort on RTT only (stable, preserving insertion order on ties).
+_RTT_KEY = itemgetter(0)
+
+
 @dataclass
 class _Entry:
     """One (i,j)-entry: neighbors with their measured RTTs, sorted by
-    increasing RTT."""
+    increasing RTT.  ``ids`` mirrors the member IDs for O(1) duplicate
+    checks on the insert hot path."""
 
     neighbors: List[Tuple[float, UserRecord]] = field(default_factory=list)
+    ids: Set[Id] = field(default_factory=set)
 
     def records(self) -> List[UserRecord]:
         return [record for _, record in self.neighbors]
@@ -71,6 +79,17 @@ class NeighborTable:
         self.owner = owner
         self.k = k
         self._entries: Dict[Tuple[int, int], _Entry] = {}
+        # Flat snapshot of all records, rebuilt lazily after mutations so
+        # query()/contains() sweeps do not re-walk the entry dict each time.
+        self._records_cache: Optional[List[UserRecord]] = None
+        # Per-row primaries, rebuilt lazily after mutations: FORWARD asks
+        # for the same rows once per session, and tables don't change
+        # mid-session.
+        self._primaries_cache: Dict[int, List[Tuple[int, UserRecord]]] = {}
+        # Hot-path constants for slot_for (called once per insert).
+        self._server_flag = owner.user_id.is_null
+        self._own_digits = owner.user_id.digits
+        self._depth = scheme.num_digits
 
     # ------------------------------------------------------------------
     @property
@@ -107,13 +126,19 @@ class NeighborTable:
     def row_primaries(self, i: int) -> List[Tuple[int, UserRecord]]:
         """``(j, primary neighbor)`` for every non-empty entry of row
         ``i``, in digit order.  This is what FORWARD iterates over —
-        scanning only populated entries rather than all ``B`` columns."""
-        pairs = [
-            (j, e.neighbors[0][1])
-            for (row, j), e in self._entries.items()
-            if row == i and e.neighbors
-        ]
-        pairs.sort(key=lambda p: p[0])
+        scanning only populated entries rather than all ``B`` columns.
+
+        Cached per row until the next mutation; callers must not mutate
+        the returned list."""
+        pairs = self._primaries_cache.get(i)
+        if pairs is None:
+            pairs = [
+                (j, e.neighbors[0][1])
+                for (row, j), e in self._entries.items()
+                if row == i and e.neighbors
+            ]
+            pairs.sort(key=lambda p: p[0])
+            self._primaries_cache[i] = pairs
         return pairs
 
     def slot_for(self, record: UserRecord) -> Optional[Tuple[int, int]]:
@@ -124,20 +149,31 @@ class NeighborTable:
         ``i`` is the length of the longest common prefix of the owner's and
         ``w``'s IDs — exactly the condition of Definition 3.
         """
-        if self.is_server_table:
-            return (0, record.user_id[0])
-        i = self.owner.user_id.common_prefix_len(record.user_id)
-        if i >= self.scheme.num_digits:
+        rd = record.user_id.digits
+        if self._server_flag:
+            return (0, rd[0])
+        i = 0
+        for a, b in zip(self._own_digits, rd):
+            if a != b:
+                break
+            i += 1
+        if i >= self._depth:
             return None  # the owner itself (or a duplicate ID)
-        return (i, record.user_id[i])
+        return (i, rd[i])
 
     def contains(self, user_id: Id) -> bool:
-        return any(r.user_id == user_id for r in self.all_records())
+        return any(user_id in e.ids for e in self._entries.values())
 
     def all_records(self) -> Iterator[UserRecord]:
-        for e in self._entries.values():
-            for _, record in e.neighbors:
-                yield record
+        cache = self._records_cache
+        if cache is None:
+            cache = [
+                record
+                for e in self._entries.values()
+                for _, record in e.neighbors
+            ]
+            self._records_cache = cache
+        return iter(cache)
 
     def num_neighbors(self) -> int:
         return sum(len(e.neighbors) for e in self._entries.values())
@@ -152,28 +188,77 @@ class NeighborTable:
         slot = self.slot_for(record)
         if slot is None:
             return False
-        e = self._entries.setdefault(slot, _Entry())
-        if any(r.user_id == record.user_id for _, r in e.neighbors):
+        e = self._entries.get(slot)
+        if e is None:
+            e = self._entries[slot] = _Entry()
+        elif record.user_id in e.ids:
             return False
         e.neighbors.append((rtt, record))
-        e.neighbors.sort(key=lambda pair: pair[0])
+        e.neighbors.sort(key=_RTT_KEY)
+        e.ids.add(record.user_id)
+        self._records_cache = None
+        self._primaries_cache.clear()
         if len(e.neighbors) > self.k:
             dropped = e.neighbors.pop()
+            e.ids.discard(dropped[1].user_id)
             return dropped[1].user_id != record.user_id
         return True
+
+    def fill(self, pairs: Iterable[Tuple[UserRecord, float]]) -> None:
+        """Batch form of :meth:`insert` for table construction: offer many
+        ``(record, rtt)`` pairs at once.
+
+        Each entry is sorted once and truncated to ``K``, instead of
+        re-sorting per insert.  Because the sort is stable and ties keep
+        offer order, the surviving neighbors and their order are exactly
+        what the equivalent sequence of :meth:`insert` calls would leave —
+        provided each user ID appears at most once in ``pairs`` (as in
+        table construction, where every known user is offered exactly
+        once; sequential inserts can re-admit an ID whose earlier record
+        was already evicted, which a single batched pass cannot see).
+        """
+        entries = self._entries
+        slot_for = self.slot_for
+        for record, rtt in pairs:
+            slot = slot_for(record)
+            if slot is None:
+                continue
+            e = entries.get(slot)
+            if e is None:
+                e = entries[slot] = _Entry()
+            elif record.user_id in e.ids:
+                continue
+            e.neighbors.append((rtt, record))
+            e.ids.add(record.user_id)
+        k = self.k
+        for e in entries.values():
+            neighbors = e.neighbors
+            if len(neighbors) > 1:
+                neighbors.sort(key=_RTT_KEY)
+            if len(neighbors) > k:
+                for _, dropped in neighbors[k:]:
+                    e.ids.discard(dropped.user_id)
+                del neighbors[k:]
+        self._records_cache = None
+        self._primaries_cache.clear()
 
     def remove(self, user_id: Id) -> bool:
         """Delete a user's record wherever it appears (leave / failure).
         Returns True iff something was removed."""
         removed = False
         for slot, e in list(self._entries.items()):
+            if user_id not in e.ids:
+                continue
             kept = [(rtt, r) for rtt, r in e.neighbors if r.user_id != user_id]
-            if len(kept) != len(e.neighbors):
-                removed = True
-                if kept:
-                    e.neighbors = kept
-                else:
-                    del self._entries[slot]
+            removed = True
+            if kept:
+                e.neighbors = kept
+                e.ids.discard(user_id)
+            else:
+                del self._entries[slot]
+        if removed:
+            self._records_cache = None
+            self._primaries_cache.clear()
         return removed
 
     def underfilled_slots(self, subtree_sizes: Callable[[int, int], int]) -> List[Tuple[int, int]]:

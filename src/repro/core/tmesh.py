@@ -15,6 +15,17 @@ Theorem 1: with 1-consistent tables and no losses, every member other than
 the sender receives exactly one copy.  The session runner below records
 enough to let the test suite check that theorem, Lemmas 1/2, and every
 latency metric of Section 4.1 (user stress, application-layer delay, RDP).
+
+Two runners are provided:
+
+* :func:`run_multicast` — the fully general event loop (failures, backup
+  neighbors, fault injection);
+* :class:`SessionPlan` — a reusable fan-out schedule for replaying many
+  fault-free sessions over the same ``(sender_table, tables)`` pair, as
+  the figure experiments do.  The plan memoizes each member's per-level
+  forwarding schedule and reads delays from the topology's dense one-way
+  matrix when available, producing results identical to
+  :func:`run_multicast` at a fraction of the cost.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, NamedTuple, Optional, Tuple, TYPE_CHECKING
 
 from ..net.topology import Topology
 from .ids import Id, NULL_ID
@@ -32,8 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from ..faults.plan import FaultPlan
 
 
-@dataclass(frozen=True)
-class OverlayEdge:
+class OverlayEdge(NamedTuple):
     """One overlay hop of a multicast session.
 
     ``send_level`` is the row index ``s`` the sender used when it looked up
@@ -41,6 +51,10 @@ class OverlayEdge:
     sender and receives the message with ``forward_level = s + 1``
     (``s = 0`` rows for the key server).  The pair (edge, ``send_level``)
     is exactly what the splitting scheme's Theorem-2 predicate consumes.
+
+    A ``NamedTuple`` rather than a dataclass: sessions create one edge per
+    member, and tuple construction is the cheapest object creation Python
+    offers on that hot path.
     """
 
     src: Id
@@ -52,8 +66,7 @@ class OverlayEdge:
     arrival_time: float
 
 
-@dataclass(frozen=True)
-class Receipt:
+class Receipt(NamedTuple):
     """First delivery of the multicast message to one member."""
 
     member: Id
@@ -65,18 +78,45 @@ class Receipt:
 
 @dataclass
 class SessionResult:
-    """Everything observed during one multicast session."""
+    """Everything observed during one multicast session.
+
+    The per-member metric accessors (``user_stress``, ``out_edges``) are
+    backed by a lazily built source-index over ``edges``, so sweeping a
+    metric over all members is O(members + edges) instead of the
+    O(members x edges) a per-member scan would cost.  The index is
+    rebuilt transparently if ``edges`` grows after a lookup (repair
+    layers append edges to finished sessions).
+    """
 
     sender: Id
     sender_host: int
     receipts: Dict[Id, Receipt] = field(default_factory=dict)
     edges: List[OverlayEdge] = field(default_factory=list)
     duplicate_copies: Dict[Id, int] = field(default_factory=dict)
+    _src_index: Optional[Dict[Id, List[OverlayEdge]]] = field(
+        default=None, repr=False, compare=False
+    )
+    _src_index_size: int = field(default=-1, repr=False, compare=False)
+
+    def _edges_by_src(self) -> Dict[Id, List[OverlayEdge]]:
+        index = self._src_index
+        if index is None or self._src_index_size != len(self.edges):
+            index = {}
+            for e in self.edges:
+                bucket = index.get(e.src)
+                if bucket is None:
+                    index[e.src] = [e]
+                else:
+                    bucket.append(e)
+            self._src_index = index
+            self._src_index_size = len(self.edges)
+        return index
 
     # -- Section 4.1 metrics ------------------------------------------
     def user_stress(self, member: Id) -> int:
         """Number of messages the member forwards in the session."""
-        return sum(1 for e in self.edges if e.src == member)
+        bucket = self._edges_by_src().get(member)
+        return len(bucket) if bucket else 0
 
     def app_delay(self, member: Id) -> float:
         """Latency from the sender's send to the member's first copy."""
@@ -96,6 +136,16 @@ class SessionResult:
         )
 
     def out_edges(self, member: Id) -> List[OverlayEdge]:
+        return list(self._edges_by_src().get(member, ()))
+
+    # -- Reference implementations ------------------------------------
+    # O(edges)-per-member scans kept for the equivalence tests and the
+    # complexity micro-benchmark; semantically identical to the indexed
+    # accessors above.
+    def user_stress_scan(self, member: Id) -> int:
+        return sum(1 for e in self.edges if e.src == member)
+
+    def out_edges_scan(self, member: Id) -> List[OverlayEdge]:
         return [e for e in self.edges if e.src == member]
 
     def downstream_users(self, member: Id) -> List[Id]:
@@ -150,6 +200,13 @@ def run_multicast(
     counter = itertools.count()  # tie-breaker for the heap
     queue: List[Tuple[float, int, UserRecord, int, Id]] = []
     failed = failed_hosts if failed_hosts is not None else set()
+    # Dense one-way delay rows when the topology has them (same values as
+    # one_way_delay, just without a Python call per hop).
+    ow_rows = topology.one_way_rows()
+    one_way_delay = topology.one_way_delay
+    edges_append = result.edges.append
+    heappush = heapq.heappush
+    next_seq = counter.__next__
 
     def pick_next_hop(table: NeighborTable, i: int, j: int) -> Optional[UserRecord]:
         """The (i,j)-primary, or — with backups enabled — the closest
@@ -161,15 +218,50 @@ def run_multicast(
             return entry[0]
         return next((r for r in entry if r.host not in failed), None)
 
+    # The fault-free, dense-delay case (every figure experiment) takes a
+    # tight loop with the per-hop branches hoisted out; the general loop
+    # below handles failures, backups, and fault injection.
+    fast_path = (
+        ow_rows is not None and not use_backups and fault_plan is None
+    )
+
     def forward(member: UserRecord, table: NeighborTable, level: int, now: float) -> None:
         """The FORWARD routine of Fig. 2 for one member."""
         num_digits = table.scheme.num_digits
         if level >= num_digits:
             return
         if table.is_server_table:
-            rows = [0]
+            rows = (0,)
         else:
             rows = range(level, num_digits)
+        member_id = member.user_id
+        member_host = member.host
+        if fast_path:
+            delays = ow_rows[member_host]
+            base = now + processing_delay
+            row_primaries = table.row_primaries
+            for i in rows:
+                level_up = i + 1
+                for j, nbr in row_primaries(i):
+                    nbr_host = nbr.host
+                    base_arrival = base + delays[nbr_host]
+                    edges_append(
+                        OverlayEdge(
+                            member_id,
+                            nbr.user_id,
+                            member_host,
+                            nbr_host,
+                            i,
+                            now,
+                            base_arrival,
+                        )
+                    )
+                    heappush(
+                        queue,
+                        (base_arrival, next_seq(), nbr, level_up, member_id),
+                    )
+            return
+        delays = ow_rows[member_host] if ow_rows is not None else None
         for i in rows:
             for j, primary in table.row_primaries(i):
                 nbr = primary
@@ -181,58 +273,242 @@ def run_multicast(
                     extra_delays = (0.0,)
                 else:
                     extra_delays = fault_plan.apply(
-                        member.host, nbr.host, None, now
+                        member_host, nbr.host, None, now
                     )
                 base_arrival = (
                     now
                     + processing_delay
-                    + topology.one_way_delay(member.host, nbr.host)
+                    + (
+                        delays[nbr.host]
+                        if delays is not None
+                        else one_way_delay(member_host, nbr.host)
+                    )
                 )
-                result.edges.append(
+                edges_append(
                     OverlayEdge(
-                        src=member.user_id,
-                        dst=nbr.user_id,
-                        src_host=member.host,
-                        dst_host=nbr.host,
-                        send_level=i,
-                        send_time=now,
-                        arrival_time=base_arrival,
+                        member_id,
+                        nbr.user_id,
+                        member_host,
+                        nbr.host,
+                        i,
+                        now,
+                        base_arrival,
                     )
                 )
                 for extra in extra_delays:
-                    heapq.heappush(
+                    heappush(
                         queue,
                         (
                             base_arrival + extra,
-                            next(counter),
+                            next_seq(),
                             nbr,
                             i + 1,
-                            member.user_id,
+                            member_id,
                         ),
                     )
 
     forward(sender, sender_table, 0, 0.0)
+    receipts = result.receipts
+    duplicates = result.duplicate_copies
+    sender_id = sender.user_id
+    tables_get = tables.get
+    heappop = heapq.heappop
+    if fast_path:
+        # Inlined drain loop for the fault-free dense case: same events in
+        # the same order, minus the per-pop closure call, the sender
+        # equality test (a sentinel receipt catches copies sent back to
+        # the sender), and the leaf-level forward calls.
+        num_digits = sender_table.scheme.num_digits
+        receipts[sender_id] = None  # sentinel; removed below
+        while queue:
+            arrival, _, record, level, upstream = heappop(queue)
+            member_id = record.user_id
+            if failed and record.host in failed:
+                continue
+            if member_id in receipts:
+                duplicates[member_id] = duplicates.get(member_id, 0) + 1
+                continue
+            member_host = record.host
+            receipts[member_id] = Receipt(
+                member_id, member_host, arrival, level, upstream
+            )
+            if level >= num_digits:
+                continue
+            table = tables_get(member_id)
+            if table is None:
+                continue
+            delays = ow_rows[member_host]
+            base = arrival + processing_delay
+            for i in range(level, num_digits):
+                level_up = i + 1
+                for j, nbr in table.row_primaries(i):
+                    nbr_host = nbr.host
+                    base_arrival = base + delays[nbr_host]
+                    edges_append(
+                        OverlayEdge(
+                            member_id,
+                            nbr.user_id,
+                            member_host,
+                            nbr_host,
+                            i,
+                            arrival,
+                            base_arrival,
+                        )
+                    )
+                    heappush(
+                        queue,
+                        (base_arrival, next_seq(), nbr, level_up, member_id),
+                    )
+        del receipts[sender_id]
+        return result
     while queue:
-        arrival, _, record, level, upstream = heapq.heappop(queue)
+        arrival, _, record, level, upstream = heappop(queue)
         member_id = record.user_id
         if record.host in failed:
             continue  # the copy is lost at a crashed member
-        if member_id in result.receipts or member_id == sender.user_id:
-            result.duplicate_copies[member_id] = (
-                result.duplicate_copies.get(member_id, 0) + 1
-            )
+        if member_id in receipts or member_id == sender_id:
+            duplicates[member_id] = duplicates.get(member_id, 0) + 1
             continue  # Theorem 1 says this never fires with consistent tables
-        result.receipts[member_id] = Receipt(
-            member=member_id,
-            host=record.host,
-            arrival_time=arrival,
-            forward_level=level,
-            upstream=upstream,
+        receipts[member_id] = Receipt(
+            member_id,
+            record.host,
+            arrival,
+            level,
+            upstream,
         )
-        table = tables.get(member_id)
+        table = tables_get(member_id)
         if table is not None:
             forward(record, table, level, arrival)
     return result
+
+
+class SessionPlan:
+    """A reusable fan-out schedule over a fixed ``(sender_table, tables)``.
+
+    The figure experiments replay thousands of fault-free sessions in
+    which only the topology delays (or the rekey message) change between
+    batches; the forwarding schedule — which rows each member forwards and
+    who the primaries are — depends only on the tables.  The plan memoizes
+    each member's flattened per-level schedule on first use, so repeated
+    :meth:`run` calls skip every ``row_primaries`` table scan.
+
+    The plan is valid while the tables are unchanged; build a fresh plan
+    after joins/leaves mutate them.  :meth:`run` produces a
+    :class:`SessionResult` identical (receipts, edges, duplicates, and
+    their ordering) to :func:`run_multicast` on the same inputs with no
+    failures and no fault injection.
+    """
+
+    def __init__(self, sender_table: NeighborTable, tables: Dict[Id, NeighborTable]):
+        self.sender_table = sender_table
+        self.tables = tables
+        self.sender = sender_table.owner
+        num_digits = sender_table.scheme.num_digits
+        self._num_digits = num_digits
+        # Flattened (row, user_id, host, record) schedule of the sender.
+        self._sender_schedule = self._flatten(sender_table, 0)
+        # member user ID -> per-level memo of flattened schedules.
+        self._schedules: Dict[Id, List[Optional[Tuple]]] = {}
+
+    @staticmethod
+    def _flatten(table: NeighborTable, level: int) -> Tuple:
+        num_digits = table.scheme.num_digits
+        if level >= num_digits:
+            return ()
+        rows = (0,) if table.is_server_table else range(level, num_digits)
+        out = []
+        for i in rows:
+            for _, primary in table.row_primaries(i):
+                out.append((i, primary.user_id, primary.host))
+        return tuple(out)
+
+    def _schedule_for(self, member_id: Id, level: int) -> Tuple:
+        memo = self._schedules.get(member_id)
+        if memo is None:
+            memo = [None] * (self._num_digits + 1)
+            self._schedules[member_id] = memo
+        sched = memo[level]
+        if sched is None:
+            table = self.tables.get(member_id)
+            sched = () if table is None else self._flatten(table, level)
+            memo[level] = sched
+        return sched
+
+    def run(self, topology: Topology, processing_delay: float = 0.0) -> SessionResult:
+        """Replay one fault-free session against ``topology``'s delays."""
+        sender = self.sender
+        sender_id = sender.user_id
+        result = SessionResult(sender=sender_id, sender_host=sender.host)
+        edges_append = result.edges.append
+        receipts = result.receipts
+        duplicates = result.duplicate_copies
+        heappush = heapq.heappush
+        heappop = heapq.heappop
+        schedule_for = self._schedule_for
+        schedules = self._schedules
+        ow_rows = topology.one_way_rows()
+        one_way_delay = topology.one_way_delay if ow_rows is None else None
+        queue: List[Tuple[float, int, Id, int, int, Id]] = []
+        seq = 0
+
+        # Seed: the sender forwards at level 0 / time 0.
+        now = 0.0
+        src_id, src_host = sender_id, sender.host
+        sched = self._sender_schedule
+        while True:
+            if ow_rows is not None:
+                delays = ow_rows[src_host]
+                for i, nbr_id, nbr_host in sched:
+                    base_arrival = now + processing_delay + delays[nbr_host]
+                    edges_append(
+                        OverlayEdge(
+                            src_id, nbr_id, src_host, nbr_host, i, now, base_arrival
+                        )
+                    )
+                    heappush(
+                        queue, (base_arrival, seq, nbr_id, nbr_host, i + 1, src_id)
+                    )
+                    seq += 1
+            else:
+                for i, nbr_id, nbr_host in sched:
+                    base_arrival = (
+                        now + processing_delay + one_way_delay(src_host, nbr_host)
+                    )
+                    edges_append(
+                        OverlayEdge(
+                            src_id, nbr_id, src_host, nbr_host, i, now, base_arrival
+                        )
+                    )
+                    heappush(
+                        queue, (base_arrival, seq, nbr_id, nbr_host, i + 1, src_id)
+                    )
+                    seq += 1
+            # Drain deliveries until one triggers a new forward.
+            while True:
+                if not queue:
+                    return result
+                arrival, _, member_id, host, level, upstream = heappop(queue)
+                if member_id in receipts or member_id == sender_id:
+                    duplicates[member_id] = duplicates.get(member_id, 0) + 1
+                    continue
+                receipts[member_id] = Receipt(
+                    member_id, host, arrival, level, upstream
+                )
+                memo = schedules.get(member_id)
+                sched = memo[level] if memo is not None else None
+                if sched is None:
+                    sched = schedule_for(member_id, level)
+                if sched:
+                    now = arrival
+                    src_id, src_host = member_id, host
+                    break
+
+
+def plan_session(
+    sender_table: NeighborTable, tables: Dict[Id, NeighborTable]
+) -> SessionPlan:
+    """Build a :class:`SessionPlan` for repeated fault-free replays."""
+    return SessionPlan(sender_table, tables)
 
 
 def rekey_session(
@@ -240,10 +516,19 @@ def rekey_session(
     tables: Dict[Id, NeighborTable],
     topology: Topology,
     processing_delay: float = 0.0,
+    plan: Optional[SessionPlan] = None,
 ) -> SessionResult:
-    """A rekey-transport session: the key server is the sender."""
+    """A rekey-transport session: the key server is the sender.
+
+    Pass a :class:`SessionPlan` built over the same ``(server_table,
+    tables)`` to reuse its memoized fan-out schedule across repeated
+    sessions (identical results, much faster)."""
     if not server_table.is_server_table:
         raise ValueError("rekey transport must be sourced at the key server")
+    if plan is not None:
+        if plan.sender_table is not server_table:
+            raise ValueError("plan was built for a different server table")
+        return plan.run(topology, processing_delay)
     return run_multicast(server_table, tables, topology, processing_delay)
 
 

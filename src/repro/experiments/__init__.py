@@ -15,6 +15,7 @@ from .latency_experiments import (
     SchemeLatency,
     run_latency_experiment,
 )
+from .parallel import ParallelRunner, replication_seeds
 from .rekey_cost import (
     RekeyCostPoint,
     RekeyCostSurface,
@@ -47,6 +48,8 @@ __all__ = [
     "LatencyComparison",
     "SchemeLatency",
     "run_latency_experiment",
+    "ParallelRunner",
+    "replication_seeds",
     "RekeyCostPoint",
     "RekeyCostSurface",
     "default_grid",

@@ -21,21 +21,41 @@ from ..net.topology import Topology
 from .config import SCHEME, Scale, current_scale
 
 
+#: Host count above which build_topology skips the dense RTT cache
+#: (quadratic memory: 4096 hosts ~ 128 MiB of float64).
+DENSE_RTT_HOST_LIMIT = 4096
+
+
 def build_topology(
     kind: str,
     num_users: int,
     seed: int,
     gtitm_params: Optional[TransitStubParams] = None,
+    dense_rtt: Optional[bool] = None,
 ) -> Topology:
     """A topology with ``num_users + 1`` hosts; by convention the last
-    host index is the key server."""
+    host index is the key server.
+
+    ``dense_rtt`` controls the host-to-host RTT cache the simulation hot
+    paths read: ``None`` (default) builds it up to
+    :data:`DENSE_RTT_HOST_LIMIT` hosts, ``True`` forces it, ``False``
+    keeps the scalar on-demand path (the cache never changes results —
+    its entries are bitwise-equal to the scalar computation — so this is
+    purely a speed/memory knob, used by the perf harness to time both
+    paths)."""
     num_hosts = num_users + 1
     if kind == "planetlab":
-        return PlanetLabTopology(num_hosts=num_hosts, seed=seed)
-    if kind == "gtitm":
+        topology: Topology = PlanetLabTopology(num_hosts=num_hosts, seed=seed)
+    elif kind == "gtitm":
         params = gtitm_params if gtitm_params is not None else current_scale().gtitm_params
-        return TransitStubTopology(num_hosts=num_hosts, params=params, seed=seed)
-    raise ValueError(f"unknown topology kind {kind!r}")
+        topology = TransitStubTopology(num_hosts=num_hosts, params=params, seed=seed)
+    else:
+        raise ValueError(f"unknown topology kind {kind!r}")
+    if dense_rtt is None:
+        dense_rtt = num_hosts <= DENSE_RTT_HOST_LIMIT
+    if dense_rtt:
+        topology.ensure_rtt_matrix()
+    return topology
 
 
 def server_host_of(topology: Topology) -> int:

@@ -25,6 +25,7 @@ from ..metrics.stats import RankedRuns, ranked_across_runs
 from ..net.topology import Topology
 from .common import build_group, build_nice, build_topology, join_order, server_host_of
 from .config import SCHEME
+from .parallel import ParallelRunner, replication_seeds, worker_context
 
 
 @dataclass
@@ -84,6 +85,44 @@ class LatencyComparison:
         return "\n".join(lines)
 
 
+def _latency_run(run_seed: int) -> Tuple[np.ndarray, ...]:
+    """One replication of a latency figure, a pure function of its seed.
+
+    Reads the run-invariant inputs (topology, mode, ...) from the
+    :mod:`.parallel` worker context so the same function serves both the
+    serial loop and forked pool workers without re-pickling the topology
+    per task."""
+    topology, num_users, mode, scheme, thresholds, server = worker_context()
+    order = join_order(num_users, run_seed)
+    group = build_group(
+        topology, num_users, run_seed, scheme=scheme, thresholds=thresholds
+    )
+    hierarchy = build_nice(topology, order, run_seed)
+    rng = np.random.default_rng(run_seed + 7)
+
+    if mode == "rekey":
+        t_sess = rekey_session(group.server_table, group.tables, topology)
+        n_sess = nice_multicast(hierarchy, topology, server_host=server)
+    else:
+        sender_host = int(order[int(rng.integers(0, len(order)))])
+        sender_id = next(
+            uid for uid, rec in group.records.items() if rec.host == sender_host
+        )
+        t_sess = data_session(sender_id, group.tables, topology)
+        n_sess = nice_multicast(hierarchy, topology, source_host=sender_host)
+
+    t_sample = tmesh_latency(t_sess, topology)
+    n_sample = alm_latency(n_sess, topology)
+    return (
+        t_sample.stress,
+        t_sample.app_delay,
+        t_sample.rdp,
+        n_sample.stress,
+        n_sample.app_delay,
+        n_sample.rdp,
+    )
+
+
 def run_latency_experiment(
     figure: str,
     topology_kind: str,
@@ -93,52 +132,34 @@ def run_latency_experiment(
     seed: int = 0,
     scheme=SCHEME,
     thresholds: Optional[Sequence[float]] = None,
+    runner: Optional[ParallelRunner] = None,
 ) -> LatencyComparison:
     """Run one of Figs. 6–11.
 
     ``mode="rekey"`` sources the multicast at the key server;
     ``mode="data"`` at a random user.  The topology is fixed across runs;
     the join order (and data sender) varies per run.
+
+    ``runner`` distributes the replications over worker processes; the
+    default runs them serially in process.  Results are identical either
+    way — each run depends only on its derived seed.
     """
     if mode not in ("rekey", "data"):
         raise ValueError(f"mode must be rekey or data, got {mode!r}")
     topology = build_topology(topology_kind, num_users, seed)
     server = server_host_of(topology)
-    t_stress: List[np.ndarray] = []
-    t_delay: List[np.ndarray] = []
-    t_rdp: List[np.ndarray] = []
-    n_stress: List[np.ndarray] = []
-    n_delay: List[np.ndarray] = []
-    n_rdp: List[np.ndarray] = []
-
-    for run in range(runs):
-        run_seed = seed + 1000 * (run + 1)
-        order = join_order(num_users, run_seed)
-        group = build_group(
-            topology, num_users, run_seed, scheme=scheme, thresholds=thresholds
-        )
-        hierarchy = build_nice(topology, order, run_seed)
-        rng = np.random.default_rng(run_seed + 7)
-
-        if mode == "rekey":
-            t_sess = rekey_session(group.server_table, group.tables, topology)
-            n_sess = nice_multicast(hierarchy, topology, server_host=server)
-        else:
-            sender_host = int(order[int(rng.integers(0, len(order)))])
-            sender_id = next(
-                uid for uid, rec in group.records.items() if rec.host == sender_host
-            )
-            t_sess = data_session(sender_id, group.tables, topology)
-            n_sess = nice_multicast(hierarchy, topology, source_host=sender_host)
-
-        t_sample = tmesh_latency(t_sess, topology)
-        n_sample = alm_latency(n_sess, topology)
-        t_stress.append(t_sample.stress)
-        t_delay.append(t_sample.app_delay)
-        t_rdp.append(t_sample.rdp)
-        n_stress.append(n_sample.stress)
-        n_delay.append(n_sample.app_delay)
-        n_rdp.append(n_sample.rdp)
+    if runner is None:
+        runner = ParallelRunner(processes=1)
+    context = (topology, num_users, mode, scheme, thresholds, server)
+    results = runner.map(
+        _latency_run, replication_seeds(seed, runs), context=context
+    )
+    t_stress = [r[0] for r in results]
+    t_delay = [r[1] for r in results]
+    t_rdp = [r[2] for r in results]
+    n_stress = [r[3] for r in results]
+    n_delay = [r[4] for r in results]
+    n_rdp = [r[5] for r in results]
 
     return LatencyComparison(
         figure=figure,

@@ -1,0 +1,91 @@
+"""A parallel replication runner for multi-run experiments.
+
+The paper's figures average metrics over up to 100 independent runs that
+differ only in their seed.  Replications are embarrassingly parallel, so
+this module fans ``(seed, run)`` tasks over a ``fork``-based
+multiprocessing pool while keeping the results *byte-identical* to the
+serial loop:
+
+* every task is a pure function of its seed — workers rebuild their RNGs
+  from the task seed and share no mutable state;
+* heavyweight read-only context (the topology with its dense RTT cache)
+  is handed to workers through a module global inherited across ``fork``,
+  never pickled per task;
+* results come back in task order (``Pool.map`` preserves ordering), so
+  downstream averaging sees the same sequence as a serial loop.
+
+``tests/test_perf_equivalence.py`` asserts the byte-identity, including
+over the CSV exports.  On single-CPU hosts (or with ``processes=1``) the
+runner degrades to an in-process loop over the very same worker function,
+so there is one code path for the science and one knob for the speed.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+#: Read-only per-run context, set in the parent before the pool forks and
+#: inherited by every worker process.
+_WORKER_CONTEXT: Any = None
+
+
+def worker_context() -> Any:
+    """The context object the current (worker or serial) run was given."""
+    return _WORKER_CONTEXT
+
+
+def _set_context(context: Any) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+class ParallelRunner:
+    """Order-preserving map of a worker over per-replication tasks.
+
+    ``processes=None`` uses every CPU; ``processes=1`` (or a single-CPU
+    machine, or fewer tasks than workers would help) runs serially in
+    process.  Either way the same worker function runs with the same
+    context, so results do not depend on the degree of parallelism.
+    """
+
+    def __init__(self, processes: Optional[int] = None):
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes
+
+    def resolved_processes(self, num_tasks: int) -> int:
+        procs = self.processes if self.processes is not None else (os.cpu_count() or 1)
+        return max(1, min(procs, num_tasks))
+
+    def map(
+        self,
+        worker: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        context: Any = None,
+    ) -> List[Any]:
+        task_list = list(tasks)
+        if not task_list:
+            return []
+        procs = self.resolved_processes(len(task_list))
+        if procs > 1:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:
+                procs = 1  # no fork on this platform: run in process
+        _set_context(context)
+        try:
+            if procs <= 1:
+                return [worker(task) for task in task_list]
+            with ctx.Pool(processes=procs) as pool:
+                return pool.map(worker, task_list)
+        finally:
+            _set_context(None)
+
+
+def replication_seeds(seed: int, runs: int) -> List[int]:
+    """The per-run seeds all multi-run drivers derive from a base seed
+    (run ``r`` gets ``seed + 1000 * (r + 1)``, as the serial loops always
+    did)."""
+    return [seed + 1000 * (run + 1) for run in range(runs)]

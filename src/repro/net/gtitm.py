@@ -187,11 +187,30 @@ class TransitStubTopology(Topology):
         return float(self._access[host])
 
     def rtt(self, a: int, b: int) -> float:
+        rows = self._rtt_rows
+        if rows is not None:
+            return rows[a][b]
         if a == b:
             return 0.0
         ra, rb = self.host_router(a), self.host_router(b)
         core = 0.0 if ra == rb else 2.0 * self.graph.one_way_delay(ra, rb)
         return self.access_rtt(a) + core + self.access_rtt(b)
+
+    def _build_rtt_matrix(self) -> np.ndarray:
+        """Dense host RTT matrix via one batched Dijkstra over the distinct
+        gateway routers.  Entry values match the scalar :meth:`rtt` path
+        bit for bit: same per-source distances, same operation order."""
+        routers = self._host_router
+        unique, inverse = np.unique(routers, return_inverse=True)
+        dist = self.graph.delays_from_many(unique)  # (U, num_routers)
+        if not np.all(np.isfinite(dist)):
+            raise ValueError("router graph is not connected")
+        core = 2.0 * dist[inverse][:, routers]  # (H, H) router-level cores
+        core[routers[:, None] == routers[None, :]] = 0.0
+        acc = self._access
+        m = (acc[:, None] + core) + acc[None, :]
+        np.fill_diagonal(m, 0.0)
+        return m
 
     def path_links(self, a: int, b: int) -> Sequence[int]:
         ra, rb = self.host_router(a), self.host_router(b)

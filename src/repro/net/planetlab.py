@@ -141,6 +141,9 @@ class PlanetLabTopology(Topology):
         return float(self._access[host])
 
     def rtt(self, a: int, b: int) -> float:
+        rows = self._rtt_rows
+        if rows is not None:
+            return rows[a][b]
         if a == b:
             return 0.0
         sa, sb = self._host_site[a], self._host_site[b]
@@ -150,13 +153,21 @@ class PlanetLabTopology(Topology):
             core = float(self._site_rtt[sa, sb])
         return core + self.access_rtt(a) + self.access_rtt(b)
 
-    def rtt_matrix(self) -> np.ndarray:
-        """Dense host-level RTT matrix (mostly for analysis and tests)."""
-        m = np.empty((self._num_hosts, self._num_hosts))
-        for a in range(self._num_hosts):
-            for b in range(self._num_hosts):
-                m[a, b] = self.rtt(a, b)
+    def _build_rtt_matrix(self) -> np.ndarray:
+        """Vectorized dense host RTT matrix; entries match the scalar
+        :meth:`rtt` path exactly (same values, same operation order)."""
+        sites = self._host_site
+        core = self._site_rtt[np.ix_(sites, sites)]
+        same_site = sites[:, None] == sites[None, :]
+        lan = (self._lan_rtt[:, None] + self._lan_rtt[None, :]) / 2.0
+        core = np.where(same_site, lan, core)
+        m = (core + self._access[:, None]) + self._access[None, :]
+        np.fill_diagonal(m, 0.0)
         return m
+
+    def rtt_matrix(self) -> np.ndarray:
+        """Dense host-level RTT matrix (shared read-only cache)."""
+        return self.ensure_rtt_matrix()
 
 
 class MatrixTopology(Topology):
@@ -190,7 +201,13 @@ class MatrixTopology(Topology):
         return self._matrix.shape[0]
 
     def rtt(self, a: int, b: int) -> float:
+        rows = self._rtt_rows
+        if rows is not None:
+            return rows[a][b]
         return float(self._matrix[a, b])
+
+    def _build_rtt_matrix(self) -> np.ndarray:
+        return self._matrix
 
     def access_rtt(self, host: int) -> float:
         return float(self._access[host])

@@ -118,6 +118,29 @@ class RouterGraph:
         """Vector of one-way delays from ``source`` to every router."""
         return self._ensure_source(source)[0]
 
+    def delays_from_many(self, sources: Sequence[int]) -> np.ndarray:
+        """One-way delay rows for many sources, shape
+        ``(len(sources), num_routers)``.
+
+        Missing sources are computed with a single batched scipy Dijkstra
+        call instead of one call per source; results are cached per source
+        exactly like :meth:`delays_from`, and row values are identical to
+        the per-source path."""
+        missing = sorted(
+            {int(s) for s in sources if int(s) not in self._dist_cache}
+        )
+        if missing:
+            dist, pred = dijkstra(
+                self._matrix,
+                directed=False,
+                indices=missing,
+                return_predecessors=True,
+            )
+            for k, s in enumerate(missing):
+                self._dist_cache[s] = dist[k]
+                self._pred_cache[s] = pred[k]
+        return np.vstack([self._dist_cache[int(s)] for s in sources])
+
 
 class LinkStressCounter:
     """Accumulates per-link message counts during a multicast session.

@@ -8,17 +8,34 @@ needs to know which one it is running on.
 Hosts are dense integers ``0 .. num_hosts-1``.  All delays are milliseconds.
 The paper sets one-way delay between two members to half of their RTT; we
 keep that convention: :meth:`Topology.one_way_delay` is ``rtt / 2``.
+
+Dense RTT cache: simulation inner loops (the FORWARD fan-out, ID
+assignment's gateway-RTT measurements, table construction) ask for
+millions of pairwise RTTs.  :meth:`Topology.ensure_rtt_matrix` lazily
+materializes the full host-to-host RTT matrix as a numpy array — built
+with one batched shortest-path call on router topologies — after which
+scalar :meth:`rtt` calls become O(1) array lookups and bulk callers can
+use :meth:`rtt_many` / :meth:`one_way_rows` for vectorized access.  The
+cached values are exactly the values the scalar path computes, so enabling
+the cache never changes simulation results.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Sequence
+from typing import List, Optional, Sequence
+
+import numpy as np
 
 
 class Topology(ABC):
     """Abstract network substrate: pairwise host RTTs, access links, and
     (optionally) routed physical paths for link-stress accounting."""
+
+    # Dense-cache state; instance attributes shadow these once built.
+    _rtt_dense: Optional[np.ndarray] = None
+    _rtt_rows: Optional[List[List[float]]] = None
+    _ow_rows: Optional[List[List[float]]] = None
 
     @property
     @abstractmethod
@@ -47,6 +64,67 @@ class Topology(ABC):
         return max(0.0, self.rtt(a, b) - self.access_rtt(a) - self.access_rtt(b))
 
     # ------------------------------------------------------------------
+    # Dense RTT cache
+    # ------------------------------------------------------------------
+    def _build_rtt_matrix(self) -> np.ndarray:
+        """Subclass hook: the full host-to-host RTT matrix, with entries
+        exactly equal to what :meth:`rtt` returns pair by pair.  The
+        default computes it scalar-by-scalar; router topologies override
+        with a batched construction."""
+        n = self.num_hosts
+        m = np.empty((n, n), dtype=np.float64)
+        for a in range(n):
+            for b in range(n):
+                m[a, b] = self.rtt(a, b)
+        return m
+
+    def ensure_rtt_matrix(self) -> np.ndarray:
+        """Build (once) and return the dense host-to-host RTT matrix.
+        After this call, scalar :meth:`rtt` lookups are served from the
+        cache.  The returned array is shared — treat it as read-only."""
+        if self._rtt_dense is None:
+            m = self._build_rtt_matrix()
+            self._rtt_dense = m
+            self._rtt_rows = m.tolist()
+        return self._rtt_dense
+
+    def rtt_matrix_or_none(self) -> Optional[np.ndarray]:
+        """The dense RTT matrix if already built, else ``None`` (never
+        triggers a build)."""
+        return self._rtt_dense
+
+    def has_rtt_matrix(self) -> bool:
+        return self._rtt_dense is not None
+
+    def one_way_rows(self) -> Optional[List[List[float]]]:
+        """Dense one-way delays (``rtt / 2``) as a list of row lists for
+        cheap scalar indexing in event loops; ``None`` until
+        :meth:`ensure_rtt_matrix` has run."""
+        if self._ow_rows is None and self._rtt_dense is not None:
+            self._ow_rows = (self._rtt_dense / 2.0).tolist()
+        return self._ow_rows
+
+    def rtt_many(self, src: int, hosts: Sequence[int]) -> np.ndarray:
+        """RTTs from ``src`` to each host in ``hosts`` as a float64 array.
+        One fancy-index read when the dense matrix is built; otherwise a
+        scalar fallback loop with identical values."""
+        m = self._rtt_dense
+        if m is not None:
+            return m[src, np.asarray(hosts, dtype=np.intp)]
+        return np.array([self.rtt(src, h) for h in hosts], dtype=np.float64)
+
+    def rtt_to_many(self, dst: int, hosts: Sequence[int]) -> np.ndarray:
+        """RTTs from each host in ``hosts`` to ``dst`` — the transposed
+        orientation of :meth:`rtt_many`, kept separate because dense
+        matrices built from per-source shortest paths are only symmetric
+        up to rounding and callers must preserve the scalar operand
+        order."""
+        m = self._rtt_dense
+        if m is not None:
+            return m[np.asarray(hosts, dtype=np.intp), dst]
+        return np.array([self.rtt(h, dst) for h in hosts], dtype=np.float64)
+
+    # ------------------------------------------------------------------
     # Physical-path accounting (only meaningful on router topologies)
     # ------------------------------------------------------------------
     @property
@@ -68,13 +146,35 @@ class Topology(ABC):
         )
 
 
-def validate_rtt_matrix(topology: Topology, sample: Sequence[int]) -> List[str]:
+def validate_rtt_matrix(
+    topology: Topology, sample: Sequence[int], force_scalar: bool = False
+) -> List[str]:
     """Sanity-check a topology over a sample of hosts.
 
     Returns a list of human-readable violations (empty when clean):
     asymmetric RTTs, non-zero diagonal, or negative delays.  Used by the
     test suite and by topology constructors in debug mode.
+
+    When the topology's dense RTT matrix is built, the clean case is
+    decided with three vectorized checks instead of ``len(sample) ** 2``
+    Python-level ``rtt()`` calls; any violation falls back to the scalar
+    sweep so the reported messages are identical either way.  Pass
+    ``force_scalar=True`` to skip the vectorized path (used by the
+    equivalence tests).
     """
+    sample = list(sample)
+    if not force_scalar:
+        m = topology.rtt_matrix_or_none()
+        if m is not None and sample:
+            idx = np.asarray(sample, dtype=np.intp)
+            sub = m[np.ix_(idx, idx)]
+            clean = (
+                not np.any(m[idx, idx] != 0.0)
+                and not np.any(sub < 0)
+                and not np.any(np.abs(sub - sub.T) > 1e-9)
+            )
+            if clean:
+                return []
     problems: List[str] = []
     for a in sample:
         if topology.rtt(a, a) != 0.0:

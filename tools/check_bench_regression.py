@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Compare a pytest-benchmark JSON export against ``BENCH_PR2.json``.
+
+The bench lane can export machine-readable stats::
+
+    PYTHONPATH=src pytest benchmarks/test_micro_core_ops.py \
+        --benchmark-json=bench_out.json
+    python tools/check_bench_regression.py bench_out.json
+
+Benchmarks are matched to committed workloads by name substring
+(``test_bench_tmesh_session`` -> ``tmesh_session_128``); each matched
+benchmark's *minimum* must stay within the tolerance of the committed
+*post* median (best-of-N is robust to ambient load spikes; a genuine
+regression raises the minimum too).  Exit status 1 on any regression,
+making this usable as a CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: pytest-benchmark test name fragment -> BENCH_PR2.json workload.
+NAME_MAP = {
+    "tmesh_session": "tmesh_session_128",
+    "split_predicate": "split_predicate",
+    "split_session": "split_session",
+    "modified_tree_batch": "modified_tree_batch",
+    "original_tree_batch": "original_tree_batch",
+    "single_join_id_assignment": "id_assignment_join",
+    "user_stress_indexed_1024": "user_stress_sweep_1024",
+    "planned_rekey_session_1024": "planned_rekey_session_1024",
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("benchmark_json", type=Path)
+    parser.add_argument(
+        "--bench-file", type=Path, default=REPO_ROOT / "BENCH_PR2.json"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.75,
+        help="allowed fractional regression (default 0.75; the ambient "
+        "noise floor on shared hosts is ~35%% while guarded speedups "
+        "are 3x-500x)",
+    )
+    args = parser.parse_args(argv)
+
+    bench_data = json.loads(args.bench_file.read_text())
+    committed = bench_data["ops"]
+    report = json.loads(args.benchmark_json.read_text())
+
+    # Normalize for machine speed the same way the in-pytest guard does.
+    scale = 1.0
+    reference = bench_data.get("calibration")
+    if reference:
+        sys.path.insert(0, str(REPO_ROOT / "src"))
+        from repro.perf.workloads import calibrate
+
+        scale = max(1.0, calibrate()["median_ms"] / reference["median_ms"])
+        print(f"machine scale vs committed calibration: {scale:.2f}\n")
+
+    failures = []
+    checked = 0
+    for bench in report.get("benchmarks", []):
+        workload = next(
+            (w for frag, w in NAME_MAP.items() if frag in bench["name"]), None
+        )
+        if workload is None:
+            continue
+        entry = committed.get(workload)
+        if not entry or not entry.get("post"):
+            continue
+        committed_ms = entry["post"]["median_ms"]
+        measured_ms = bench["stats"]["min"] * 1e3
+        checked += 1
+        limit = committed_ms * scale * (1.0 + args.tolerance)
+        status = "ok" if measured_ms <= limit else "REGRESSED"
+        print(
+            f"{workload:28s} {measured_ms:10.3f} ms  "
+            f"(committed {committed_ms:.3f} ms, limit {limit:.3f} ms)  {status}"
+        )
+        if measured_ms > limit:
+            failures.append(workload)
+
+    if not checked:
+        print("no benchmarks matched committed workloads", file=sys.stderr)
+        return 2
+    if failures:
+        print(f"\n{len(failures)} workload(s) regressed: {failures}", file=sys.stderr)
+        return 1
+    print(f"\nall {checked} matched workloads within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
