@@ -112,6 +112,12 @@ def main(argv=None) -> int:
         description="Reproduction of 'Efficient Group Rekeying Using "
         "Application-Layer Multicast' (ICDCS 2005)",
     )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="run every session/group under the invariant checkers "
+        "(docs/VERIFY.md); exits 3 with a structured report on violation",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_report = sub.add_parser("report", help="run all figures, emit markdown")
@@ -126,7 +132,19 @@ def main(argv=None) -> int:
     p_quick.set_defaults(fn=_cmd_quickstart)
 
     args = parser.parse_args(argv)
-    return args.fn(args)
+    if not args.verify:
+        return args.fn(args)
+
+    from .verify import InvariantViolation, verification
+
+    with verification() as context:
+        try:
+            code = args.fn(args)
+        except InvariantViolation as violation:
+            print(str(violation), file=sys.stderr)
+            return 3
+    print(f"[verify] {context.summary()}", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Tuple, TYPE_CHECKING
 
 from ..net.topology import Topology
+from ..verify import hooks as _verify_hooks
 from .ids import Id, NULL_ID
 from .neighbor_table import NeighborTable, UserRecord
 
@@ -360,6 +361,16 @@ def run_multicast(
                         (base_arrival, next_seq(), nbr, level_up, member_id),
                     )
         del receipts[sender_id]
+        ctx = _verify_hooks.ACTIVE
+        if ctx is not None:
+            ctx.observe_session(
+                result,
+                sender_table,
+                tables,
+                topology,
+                processing_delay,
+                lossless=not failed,
+            )
         return result
     while queue:
         arrival, _, record, level, upstream = heappop(queue)
@@ -379,6 +390,16 @@ def run_multicast(
         table = tables_get(member_id)
         if table is not None:
             forward(record, table, level, arrival)
+    ctx = _verify_hooks.ACTIVE
+    if ctx is not None:
+        ctx.observe_session(
+            result,
+            sender_table,
+            tables,
+            topology,
+            processing_delay,
+            lossless=not failed and not use_backups and fault_plan is None,
+        )
     return result
 
 
@@ -436,6 +457,19 @@ class SessionPlan:
 
     def run(self, topology: Topology, processing_delay: float = 0.0) -> SessionResult:
         """Replay one fault-free session against ``topology``'s delays."""
+        result = self._replay(topology, processing_delay)
+        ctx = _verify_hooks.ACTIVE
+        if ctx is not None:
+            ctx.observe_session(
+                result,
+                self.sender_table,
+                self.tables,
+                topology,
+                processing_delay,
+            )
+        return result
+
+    def _replay(self, topology: Topology, processing_delay: float) -> SessionResult:
         sender = self.sender
         sender_id = sender.user_id
         result = SessionResult(sender=sender_id, sender_host=sender.host)

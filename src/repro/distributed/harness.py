@@ -16,6 +16,7 @@ from ..faults.plan import FaultPlan, FaultStats
 from ..net.topology import Topology
 from ..sim.engine import Simulator
 from ..sim.node import Network
+from ..verify import hooks as _verify_hooks
 from .messages import MembershipUpdate
 from .nodes import ServerNode, UserNode
 
@@ -131,6 +132,25 @@ class DistributedGroup:
 
     def run(self, until: Optional[float] = None) -> None:
         self.simulator.run(until=until)
+        if until is None:
+            # The world is quiescent (queue drained): let an installed
+            # verification context audit the emergent state.  Announcement
+            # unicasts are all delivered by now, so 1-consistency is a
+            # theorem here — but only without injected faults, whose
+            # losses legitimately leave tables stale until the recovery
+            # rounds run.
+            ctx = _verify_hooks.ACTIVE
+            if ctx is not None and self.fault_plan is None:
+                ctx.observe_distributed(self)
+
+    def verify_invariants(self) -> None:
+        """Audit the current world state with a one-shot verification
+        context, raising :class:`repro.verify.InvariantViolation` on any
+        broken invariant.  Unlike the automatic post-:meth:`run` hook
+        this ignores the installed context and checks unconditionally."""
+        from ..verify import VerificationContext
+
+        VerificationContext(oracle=False).observe_distributed(self)
 
     @property
     def fault_stats(self) -> FaultStats:

@@ -18,6 +18,7 @@ from ..core.neighbor_table import UserRecord
 from ..net.gtitm import TransitStubParams, TransitStubTopology
 from ..net.planetlab import PlanetLabTopology
 from ..net.topology import Topology
+from ..verify import hooks as _verify_hooks
 from .config import SCHEME, Scale, current_scale
 
 
@@ -89,6 +90,11 @@ def build_group(
             group.random_id_join(int(host))
         else:
             group.join(int(host))
+    ctx = _verify_hooks.ACTIVE
+    if ctx is not None:
+        # Audit the finished group's tables against Definition 3 before
+        # any experiment multicasts over them.
+        ctx.observe_group(group)
     return group
 
 

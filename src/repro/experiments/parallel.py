@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Optional, Sequence
 
 #: Read-only per-run context, set in the parent before the pool forks and
@@ -78,8 +79,20 @@ class ParallelRunner:
         try:
             if procs <= 1:
                 return [worker(task) for task in task_list]
-            with ctx.Pool(processes=procs) as pool:
-                return pool.map(worker, task_list)
+            # ProcessPoolExecutor rather than multiprocessing.Pool: a
+            # worker that dies hard (os._exit, SIGKILL, segfault) raises
+            # BrokenProcessPool here instead of hanging the parent, and a
+            # worker exception — including a pickled InvariantViolation
+            # with its reports — propagates from the map iterator.  The
+            # chunking mirrors Pool.map's default so the task batching
+            # (and thus worker-side execution order) is unchanged.
+            chunksize, extra = divmod(len(task_list), procs * 4)
+            if extra:
+                chunksize += 1
+            with ProcessPoolExecutor(
+                max_workers=procs, mp_context=ctx
+            ) as pool:
+                return list(pool.map(worker, task_list, chunksize=chunksize))
         finally:
             _set_context(None)
 

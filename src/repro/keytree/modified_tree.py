@@ -112,6 +112,12 @@ class ModifiedKeyTree:
     def has_node(self, node_id: Id) -> bool:
         return node_id in self._versions
 
+    def node_ids(self) -> List[Id]:
+        """All key IDs currently held (one per ID-tree node): the tree-
+        agreement checker compares this set against the ID tree the
+        current users induce."""
+        return list(self._versions)
+
     def group_key_version(self) -> int:
         return self._versions[NULL_ID]
 

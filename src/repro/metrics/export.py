@@ -69,6 +69,28 @@ def write_repair_report(path: str, rows: Iterable[Dict[str, object]]) -> None:
             writer.writerow(rendered)
 
 
+def write_violation_reports(path: str, reports: Iterable) -> None:
+    """Invariant-violation reports (:class:`repro.verify.ViolationReport`)
+    as CSV — one row per report, so a verification sweep's findings can be
+    archived and diffed alongside the figure data."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["checker", "citation", "detail", "offending_ids", "seed", "repro"]
+        )
+        for report in reports:
+            writer.writerow(
+                [
+                    report.checker,
+                    report.citation,
+                    report.detail,
+                    " ".join(report.offending_ids),
+                    "" if report.seed is None else report.seed,
+                    report.repro or "",
+                ]
+            )
+
+
 def write_latency_comparison(prefix: str, comparison) -> Dict[str, str]:
     """Dump a Figs.-6-11 result (a ``LatencyComparison``) as six CSVs:
     {tmesh, nice} x {stress, delay, rdp}.  Returns metric -> path."""

@@ -23,7 +23,7 @@ the cache never changes simulation results.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -157,10 +157,12 @@ def validate_rtt_matrix(
 
     When the topology's dense RTT matrix is built, the clean case is
     decided with three vectorized checks instead of ``len(sample) ** 2``
-    Python-level ``rtt()`` calls; any violation falls back to the scalar
-    sweep so the reported messages are identical either way.  Pass
-    ``force_scalar=True`` to skip the vectorized path (used by the
-    equivalence tests).
+    Python-level ``rtt()`` calls; any violation is then *reported* by a
+    scalar sweep over the same dense matrix, so the dirty-path messages
+    are identical to the pure-scalar path's and never diverge from what
+    the vectorized checks saw (``topology.rtt()`` may be served from a
+    separate row cache).  Pass ``force_scalar=True`` to skip the
+    vectorized path entirely (used by the equivalence tests).
     """
     sample = list(sample)
     if not force_scalar:
@@ -175,13 +177,24 @@ def validate_rtt_matrix(
             )
             if clean:
                 return []
+            rows = m.tolist()
+            return _scalar_sweep(lambda a, b: rows[a][b], sample)
+    return _scalar_sweep(topology.rtt, sample)
+
+
+def _scalar_sweep(
+    rtt: Callable[[int, int], float], sample: Sequence[int]
+) -> List[str]:
+    """The reference host-pair sweep behind :func:`validate_rtt_matrix`:
+    both the scalar path and the vectorized path's violation reporting run
+    this exact loop, differing only in where ``rtt`` reads from."""
     problems: List[str] = []
     for a in sample:
-        if topology.rtt(a, a) != 0.0:
-            problems.append(f"rtt({a},{a}) = {topology.rtt(a, a)} != 0")
+        if rtt(a, a) != 0.0:
+            problems.append(f"rtt({a},{a}) = {rtt(a, a)} != 0")
         for b in sample:
-            r_ab = topology.rtt(a, b)
-            r_ba = topology.rtt(b, a)
+            r_ab = rtt(a, b)
+            r_ba = rtt(b, a)
             if r_ab < 0:
                 problems.append(f"rtt({a},{b}) = {r_ab} < 0")
             if abs(r_ab - r_ba) > 1e-9:

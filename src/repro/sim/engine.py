@@ -39,6 +39,27 @@ class Simulator:
         self._queue: List[Event] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        self._probe: Optional[Callable[["Simulator"], None]] = None
+        self._probe_every = 1
+        self._probe_countdown = 0
+
+    def set_invariant_probe(
+        self,
+        probe: Optional[Callable[["Simulator"], None]],
+        every: int = 1,
+    ) -> None:
+        """Install a callback run after every ``every``-th executed event.
+
+        The verification layer uses this to audit protocol state at event
+        granularity (e.g. table consistency between interval boundaries).
+        ``probe=None`` removes the hook; with no probe installed the event
+        loop pays a single falsy test per event.
+        """
+        if every < 1:
+            raise ValueError(f"probe interval must be >= 1, got {every}")
+        self._probe = probe
+        self._probe_every = every
+        self._probe_countdown = every
 
     def schedule(self, delay: float, action: Callable[[], None]) -> Event:
         """Run ``action`` after ``delay`` simulated time units."""
@@ -64,6 +85,11 @@ class Simulator:
             self.now = event.time
             self.events_processed += 1
             event.action()
+            if self._probe is not None:
+                self._probe_countdown -= 1
+                if self._probe_countdown <= 0:
+                    self._probe_countdown = self._probe_every
+                    self._probe(self)
             return True
         return False
 

@@ -1,0 +1,59 @@
+"""Pluggable invariant verification for the rekeying reproduction.
+
+The package has three layers:
+
+* :mod:`repro.verify.report` — structured :class:`ViolationReport` /
+  :class:`InvariantViolation` records;
+* :mod:`repro.verify.checkers` and :mod:`repro.verify.oracle` — the
+  invariant predicates (Theorem 1, Lemmas 1-3, Definition 3, Section
+  2.4) and the brute-force differential replay;
+* :mod:`repro.verify.hooks` — the opt-in runtime context the hot paths
+  consult (``with verification(): ...`` or ``--verify`` on the CLI).
+
+Only the report and hook layers are imported eagerly: ``repro.core``
+imports this package from inside ``tmesh``, and the checker/oracle
+modules import ``repro.core`` back, so they resolve lazily on first
+attribute access.
+"""
+
+from .hooks import (
+    VerificationContext,
+    active,
+    install,
+    uninstall,
+    verification,
+)
+from .report import InvariantViolation, ViolationReport
+
+_LAZY = {
+    "Checker": "checkers",
+    "ExactlyOnceChecker": "checkers",
+    "ForwardPrefixChecker": "checkers",
+    "KConsistencyChecker": "checkers",
+    "KeyIdResolutionChecker": "checkers",
+    "TreeAgreementChecker": "checkers",
+    "default_session_checkers": "checkers",
+    "DifferentialOracle": "oracle",
+}
+
+__all__ = [
+    "InvariantViolation",
+    "ViolationReport",
+    "VerificationContext",
+    "active",
+    "install",
+    "uninstall",
+    "verification",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value
+    return value

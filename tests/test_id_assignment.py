@@ -170,6 +170,74 @@ class TestServerCompletion:
             complete_user_id(tree, NULL_ID, np.random.default_rng(3))
 
 
+class TestFootnote3Regression:
+    """Pin every branch of footnote 3's server-side fallback.
+
+    The paper's footnote: when every digit at the preferred position is
+    taken, the server re-assigns earlier digits (deepest first) to carve
+    out a fresh subtree, and as a last resort picks any globally unique
+    ID.  These tests freeze the observable contract of each branch so a
+    refactor of ``complete_user_id`` cannot silently change which subtree
+    a colliding joiner lands in.
+    """
+
+    def test_server_assigns_final_digit_when_preferred_digit_taken(self):
+        # Determined prefix has length D-1: the only position left is the
+        # final digit, and the preferred-digit collision is resolved by
+        # the server assigning a free final digit in the same subtree.
+        tree = IdTree(SCHEME, [Id([2, 2, 0]), Id([2, 2, 1])])
+        for seed in range(8):
+            uid = complete_user_id(tree, Id([2, 2]), np.random.default_rng(seed))
+            assert uid.prefix(2) == Id([2, 2])  # stays in the subtree
+            assert uid[2] in (2, 3)             # one of the free digits
+            assert uid not in tree.user_ids
+
+    def test_fallback_modifies_deepest_digit_first(self):
+        # All final digits under [3,2] taken; level 1 under [3] still has
+        # room.  Footnote 3 modifies u.ID[l-1] first: the result must stay
+        # under [3] rather than jump to a fresh level-1 subtree.
+        users = [Id([3, 2, j]) for j in range(SCHEME.base)]
+        tree = IdTree(SCHEME, users)
+        uid = complete_user_id(tree, Id([3, 2]), np.random.default_rng(0))
+        assert uid[0] == 3                      # deepest level modified first
+        assert uid[1] != 2                      # fresh level-2 subtree
+        assert not tree.has_node(uid.prefix(2))
+        assert uid[2] == 0                      # zero-filled below the stem
+
+    def test_fallback_backtracks_through_saturated_levels(self):
+        # Levels l and l-1 both saturated: every level-2 subtree under [3]
+        # is populated, so the fallback must reach back to position 0.
+        users = [Id([3, j, 0]) for j in range(SCHEME.base)]
+        tree = IdTree(SCHEME, users)
+        uid = complete_user_id(tree, Id([3]), np.random.default_rng(1))
+        assert uid[0] != 3                      # left the saturated subtree
+        assert not tree.has_node(uid.prefix(1))  # sole occupant, level 1
+        assert uid.digits[1:] == (0, 0)
+
+    def test_last_resort_unique_random_id(self):
+        # Every level along the prefix is saturated (all level-0 digits
+        # and all level-1 digits under [3] taken): only the global-unique
+        # branch remains.  The seeded draw makes the pick deterministic.
+        users = [Id([3, j, 0]) for j in range(SCHEME.base)]
+        users += [Id([j, 0, 0]) for j in range(SCHEME.base) if j != 3]
+        tree = IdTree(SCHEME, users)
+        uid = complete_user_id(tree, Id([3]), np.random.default_rng(2))
+        SCHEME.validate_user_id(uid)
+        assert uid not in tree.user_ids
+        # An existing subtree was reused: no fresh digit existed anywhere
+        # along the prefix, so the ID shares some populated level-1 node.
+        assert tree.has_node(uid.prefix(1))
+
+    def test_fallback_is_deterministic_in_the_rng(self):
+        users = [Id([3, 2, j]) for j in range(SCHEME.base)]
+        tree = IdTree(SCHEME, users)
+        picks = {
+            complete_user_id(tree, Id([3, 2]), np.random.default_rng(7))
+            for _ in range(5)
+        }
+        assert len(picks) == 1  # same tree + same seed -> same ID
+
+
 class TestEndToEndAssignment:
     def test_ids_unique_across_many_joins(self, gtitm):
         from .conftest import make_group

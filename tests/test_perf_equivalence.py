@@ -25,7 +25,7 @@ from repro.experiments.latency_experiments import run_latency_experiment
 from repro.experiments.parallel import ParallelRunner, replication_seeds
 from repro.faults import FaultPlan
 from repro.metrics.export import write_latency_comparison
-from repro.net.topology import validate_rtt_matrix
+from repro.net.topology import Topology, validate_rtt_matrix
 from repro.perf import percentile_linear
 
 
@@ -169,6 +169,78 @@ def test_validate_rtt_matrix_reports_identical_violations():
     scalar = validate_rtt_matrix(topology, sample, force_scalar=True)
     assert vectorized == scalar
     assert vectorized  # the corruption was detected
+
+
+def test_validate_rtt_matrix_reports_from_the_checked_matrix():
+    """Regression: corruption in the dense matrix must be reported even
+    when the scalar row cache has drifted out of sync.  The old fallback
+    re-read ``topology.rtt()`` (served from the stale rows), detected the
+    dirt vectorized, then reported a clean [] — a silent false negative.
+    """
+    topology = build_topology("gtitm", 16, seed=3, dense_rtt=True)
+    m = topology.ensure_rtt_matrix()
+    m[1, 2] += 5.0  # asymmetry
+    m[4, 4] = 1.0  # non-zero diagonal
+    # _rtt_rows deliberately NOT refreshed: the two caches now disagree.
+    problems = validate_rtt_matrix(topology, range(6))
+    assert "rtt(4,4) = 1.0 != 0" in problems
+    assert any("asymmetry" in p and "(1,2)" in p for p in problems)
+
+
+class _AsymmetricTopology(Topology):
+    """A raw scalar topology whose RTTs are genuinely asymmetric (the
+    dense-cache constructors reject such matrices, so the validator's
+    asymmetric branch is only reachable through a plain subclass)."""
+
+    def __init__(self, matrix):
+        self._m = np.asarray(matrix, dtype=np.float64)
+
+    @property
+    def num_hosts(self):
+        return len(self._m)
+
+    def rtt(self, a, b):
+        return float(self._m[a, b])
+
+    def access_rtt(self, host):
+        return 0.5
+
+    def _build_rtt_matrix(self):
+        return self._m.copy()
+
+
+_ASYMMETRIC = [
+    [0.0, 10.0, 3.0],
+    [12.0, 0.0, 4.0],
+    [3.0, 4.0, -1.0],
+]
+
+#: The exact messages both validator paths must produce on _ASYMMETRIC,
+#: in sweep order.  Locked verbatim: downstream tooling greps for them.
+_ASYMMETRIC_MESSAGES = [
+    "rtt asymmetry: (0,1) 10.0 vs 12.0",
+    "rtt asymmetry: (1,0) 12.0 vs 10.0",
+    "rtt(2,2) = -1.0 != 0",
+    "rtt(2,2) = -1.0 < 0",
+]
+
+
+def test_validate_rtt_matrix_scalar_messages_locked():
+    topology = _AsymmetricTopology(_ASYMMETRIC)
+    assert (
+        validate_rtt_matrix(topology, range(3), force_scalar=True)
+        == _ASYMMETRIC_MESSAGES
+    )
+
+
+def test_validate_rtt_matrix_paths_identical_on_asymmetric_input():
+    """The scalar fallback and the vectorized path must produce identical
+    error messages on the same asymmetric input."""
+    topology = _AsymmetricTopology(_ASYMMETRIC)
+    scalar = validate_rtt_matrix(topology, range(3), force_scalar=True)
+    topology.ensure_rtt_matrix()  # same values, now on the vectorized path
+    vectorized = validate_rtt_matrix(topology, range(3))
+    assert vectorized == scalar == _ASYMMETRIC_MESSAGES
 
 
 # ----------------------------------------------------------------------
