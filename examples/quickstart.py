@@ -7,49 +7,95 @@ rekey interval (batch rekeying + T-mesh delivery with rekey message
 splitting), and exchanges encrypted application data under the group key.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace           # print trace summary
+      python examples/quickstart.py --trace=run.jsonl # write the trace
 """
+
+import argparse
+from contextlib import nullcontext
 
 from repro import SecureGroup, TransitStubParams, TransitStubTopology
 
-# A modest network: 3 transit domains, hosts attach to stub routers.
-topology = TransitStubTopology(
-    num_hosts=33,
-    params=TransitStubParams(
-        transit_domains=3,
-        transit_per_domain=3,
-        stubs_per_transit=2,
-        stub_size=6,
-    ),
-    seed=7,
-)
 
-# The key server lives at the last host.
-group = SecureGroup(topology, server_host=32, seed=7)
+def run_demo() -> None:
+    # A modest network: 3 transit domains, hosts attach to stub routers.
+    topology = TransitStubTopology(
+        num_hosts=33,
+        params=TransitStubParams(
+            transit_domains=3,
+            transit_per_domain=3,
+            stubs_per_transit=2,
+            stub_size=6,
+        ),
+        seed=7,
+    )
 
-print("== joins ==")
-members = [group.join(host) for host in range(8)]
-for member in members[:4]:
-    print(f"  host {member.host:2d} got user ID {member.user_id}")
+    # The key server lives at the last host.
+    group = SecureGroup(topology, server_host=32, seed=7)
 
-report = group.end_interval()
-print(f"\n== first rekey interval ==")
-print(f"  rekey message: {report.rekey_cost} encryptions")
-print(f"  key audit: {'OK' if not group.verify_member_keys() else 'FAILED'}")
+    print("== joins ==")
+    members = [group.join(host) for host in range(8)]
+    for member in members[:4]:
+        print(f"  host {member.host:2d} got user ID {member.user_id}")
 
-print("\n== encrypted group data ==")
-alice, bob = members[0], members[1]
-blob = alice.seal(b"the launch code is 0000")
-print(f"  alice seals {len(blob)} bytes; bob reads: {bob.open(blob)!r}")
+    report = group.end_interval()
+    print(f"\n== first rekey interval ==")
+    print(f"  rekey message: {report.rekey_cost} encryptions")
+    print(f"  key audit: {'OK' if not group.verify_member_keys() else 'FAILED'}")
 
-print("\n== a member leaves; the group rekeys ==")
-mallory = members[2]
-group.leave(mallory.user_id)
-report = group.end_interval()
-print(f"  rekey message: {report.rekey_cost} encryptions")
+    print("\n== encrypted group data ==")
+    alice, bob = members[0], members[1]
+    blob = alice.seal(b"the launch code is 0000")
+    print(f"  alice seals {len(blob)} bytes; bob reads: {bob.open(blob)!r}")
 
-blob = alice.seal(b"new secret after rekey")
-print(f"  bob still reads: {bob.open(blob)!r}")
-try:
-    mallory.open(blob)
-except KeyError as exc:
-    print(f"  mallory is locked out: {exc}")
+    print("\n== a member leaves; the group rekeys ==")
+    mallory = members[2]
+    group.leave(mallory.user_id)
+    report = group.end_interval()
+    print(f"  rekey message: {report.rekey_cost} encryptions")
+
+    blob = alice.seal(b"new secret after rekey")
+    print(f"  bob still reads: {bob.open(blob)!r}")
+    try:
+        mallory.open(blob)
+    except KeyError as exc:
+        print(f"  mallory is locked out: {exc}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="secure-group quickstart")
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="capture a structured trace of the demo "
+        "(docs/OBSERVABILITY.md); writes JSONL to PATH, or prints a "
+        "summary without one",
+    )
+    args = parser.parse_args(argv)
+
+    if args.trace is None:
+        context = nullcontext(None)
+    else:
+        from repro.trace import tracing
+
+        context = tracing(seed=7, label="quickstart")
+
+    with context as tctx:
+        run_demo()
+
+    if tctx is not None:
+        print("\n== trace ==")
+        print(f"  {tctx.summary()}")
+        if args.trace:
+            from repro.metrics.export import write_trace_jsonl
+
+            write_trace_jsonl(args.trace, tctx)
+            print(f"  wrote {args.trace}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,9 @@ The package implements the complete system the paper describes:
 * :mod:`repro.alm` — the NICE and IP-multicast baselines;
 * :mod:`repro.sim` — a discrete event simulator;
 * :mod:`repro.metrics` / :mod:`repro.experiments` — everything needed to
-  regenerate the paper's Figs. 6–14.
+  regenerate the paper's Figs. 6–14;
+* :mod:`repro.verify` / :mod:`repro.trace` — opt-in runtime invariant
+  checking and structured tracing/metrics (both zero-overhead when off).
 
 Quickstart::
 
@@ -66,6 +68,7 @@ from .alm.reliable import ReliabilityConfig, ReliableSession, ReliableTmeshNode
 from .faults import FaultPlan, FaultStats
 from .metrics import RepairStats
 from .sim import Network, Node, Simulator
+from .trace import MetricsRegistry, TraceContext, tracing
 
 __version__ = "1.0.0"
 
@@ -111,5 +114,8 @@ __all__ = [
     "Network",
     "Node",
     "Simulator",
+    "MetricsRegistry",
+    "TraceContext",
+    "tracing",
     "__version__",
 ]

@@ -118,6 +118,17 @@ def main(argv=None) -> int:
         help="run every session/group under the invariant checkers "
         "(docs/VERIFY.md); exits 3 with a structured report on violation",
     )
+    parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="capture a structured trace of the command "
+        "(docs/OBSERVABILITY.md); writes normalized JSONL to PATH, or "
+        "prints a summary to stderr without one.  Flag goes before the "
+        "subcommand: python -m repro --trace=out.jsonl fig 7",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_report = sub.add_parser("report", help="run all figures, emit markdown")
@@ -131,19 +142,40 @@ def main(argv=None) -> int:
     p_quick = sub.add_parser("quickstart", help="tiny secure-group demo")
     p_quick.set_defaults(fn=_cmd_quickstart)
 
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    # Bare ``--trace`` would greedily eat the subcommand (nargs="?"), so
+    # normalize it to the explicit empty form before parsing.
+    argv = ["--trace=" if token == "--trace" else token for token in argv]
     args = parser.parse_args(argv)
-    if not args.verify:
+    if not args.verify and args.trace is None:
         return args.fn(args)
+
+    from contextlib import ExitStack
 
     from .verify import InvariantViolation, verification
 
-    with verification() as context:
+    with ExitStack() as stack:
+        vctx = stack.enter_context(verification()) if args.verify else None
+        tctx = None
+        if args.trace is not None:
+            from .trace import tracing
+
+            tctx = stack.enter_context(tracing(label=f"cli:{args.command}"))
         try:
             code = args.fn(args)
         except InvariantViolation as violation:
             print(str(violation), file=sys.stderr)
             return 3
-    print(f"[verify] {context.summary()}", file=sys.stderr)
+    if vctx is not None:
+        print(f"[verify] {vctx.summary()}", file=sys.stderr)
+    if tctx is not None:
+        if args.trace:
+            from .metrics.export import write_trace_jsonl
+
+            write_trace_jsonl(args.trace, tctx)
+            print(f"[trace] wrote {args.trace}", file=sys.stderr)
+        else:
+            print(f"[trace] {tctx.summary()}", file=sys.stderr)
     return code
 
 

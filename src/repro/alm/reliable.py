@@ -51,6 +51,7 @@ from ..metrics.faults import RepairStats
 from ..net.topology import Topology
 from ..sim.engine import Simulator
 from ..sim.node import Network, Node
+from ..trace import hooks as _trace_hooks
 
 
 # ----------------------------------------------------------------------
@@ -384,10 +385,26 @@ class ReliableTmeshNode(Node):
                 and source in self._upstream
             ):
                 target = self._upstream[source]
+                target_kind = "upstream"
             else:
                 target = source_host
+                target_kind = "source"
                 self.stats.source_repairs += 1
             self.stats.nacks_sent += 1
+            # One slot read per *repair round* — rounds only fire under
+            # losses, so the fault-free path never reaches this.
+            tctx = _trace_hooks.ACTIVE
+            if tctx is not None:
+                tctx.event(
+                    "reliable.nack_round",
+                    source=str(source),
+                    requester_host=self.host,
+                    attempt=state.attempts,
+                    missing=len(state.missing),
+                    target=target_kind,
+                    time_ms=self.network.simulator.now,
+                )
+                tctx.registry.inc("reliable.nack_rounds")
             self.send(
                 target, TmeshNack(source, source_host, tuple(sorted(state.missing)))
             )
@@ -493,9 +510,28 @@ class ReliableSession:
         """Run one reliable session: rekey transport when ``sender`` is
         ``None`` (the key server sends), data transport otherwise."""
         source_node = self.server if sender is None else self.nodes[sender]
-        source_node.send_stream(list(payloads))
-        self.simulator.run(until=until, max_events=max_events)
-        return self.collect(source_node.source_id, list(payloads))
+        tctx = _trace_hooks.ACTIVE
+        if tctx is None:
+            source_node.send_stream(list(payloads))
+            self.simulator.run(until=until, max_events=max_events)
+            return self.collect(source_node.source_id, list(payloads))
+        with tctx.span(
+            "reliable.multicast",
+            source=str(source_node.source_id),
+            payloads=len(payloads),
+            members=len(self.nodes),
+            lossy=self.plan is not None,
+        ) as span:
+            source_node.send_stream(list(payloads))
+            self.simulator.run(until=until, max_events=max_events)
+            outcome = self.collect(source_node.source_id, list(payloads))
+            span.set(
+                delivery_ratio=round(outcome.delivery_ratio, 6),
+                members_short=len(outcome.members_short()),
+                duplicates_surfaced=outcome.duplicates_surfaced,
+            )
+        tctx.observe_reliable(outcome)
+        return outcome
 
     def collect(self, source: Id, payloads: List[Any]) -> ReliableOutcome:
         receivers = {

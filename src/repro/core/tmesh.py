@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Tuple, TYPE_CHECKING
 
 from ..net.topology import Topology
+from ..trace import hooks as _trace_hooks
 from ..verify import hooks as _verify_hooks
 from .ids import Id, NULL_ID
 from .neighbor_table import NeighborTable, UserRecord
@@ -371,6 +372,9 @@ def run_multicast(
                 processing_delay,
                 lossless=not failed,
             )
+        tctx = _trace_hooks.ACTIVE
+        if tctx is not None:
+            tctx.observe_session(result, topology)
         return result
     while queue:
         arrival, _, record, level, upstream = heappop(queue)
@@ -400,6 +404,9 @@ def run_multicast(
             processing_delay,
             lossless=not failed and not use_backups and fault_plan is None,
         )
+    tctx = _trace_hooks.ACTIVE
+    if tctx is not None:
+        tctx.observe_session(result, topology)
     return result
 
 
@@ -467,6 +474,9 @@ class SessionPlan:
                 topology,
                 processing_delay,
             )
+        tctx = _trace_hooks.ACTIVE
+        if tctx is not None:
+            tctx.observe_session(result, topology, planned=True)
         return result
 
     def _replay(self, topology: Topology, processing_delay: float) -> SessionResult:

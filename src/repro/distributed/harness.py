@@ -16,6 +16,7 @@ from ..faults.plan import FaultPlan, FaultStats
 from ..net.topology import Topology
 from ..sim.engine import Simulator
 from ..sim.node import Network
+from ..trace import hooks as _trace_hooks
 from ..verify import hooks as _verify_hooks
 from .messages import MembershipUpdate
 from .nodes import ServerNode, UserNode
@@ -127,11 +128,40 @@ class DistributedGroup:
         def fire() -> None:
             update = self.server.end_interval()
             self.intervals.append(IntervalLog(update, self.simulator.now))
+            tctx = _trace_hooks.ACTIVE
+            if tctx is not None:
+                tctx.observe_interval(update, self.simulator.now)
 
         self.simulator.schedule_at(at, fire)
 
     def run(self, until: Optional[float] = None) -> None:
-        self.simulator.run(until=until)
+        tctx = _trace_hooks.ACTIVE
+        if tctx is None:
+            self.simulator.run(until=until)
+        else:
+            # Snapshot the network's message pump around the drain so the
+            # span carries this run's traffic, not the world's lifetime
+            # totals.
+            stats = self.network.stats
+            before = (stats.sent, stats.delivered, stats.dropped)
+            with tctx.span(
+                "distributed.run", users=len(self.users)
+            ) as span:
+                self.simulator.run(until=until)
+                span.set(
+                    messages_sent=stats.sent - before[0],
+                    messages_delivered=stats.delivered - before[1],
+                    messages_dropped=stats.dropped - before[2],
+                    intervals=len(self.intervals),
+                    now_ms=self.simulator.now,
+                )
+            tctx.registry.inc("distributed.messages_sent", stats.sent - before[0])
+            tctx.registry.inc(
+                "distributed.messages_delivered", stats.delivered - before[1]
+            )
+            tctx.registry.inc(
+                "distributed.messages_dropped", stats.dropped - before[2]
+            )
         if until is None:
             # The world is quiescent (queue drained): let an installed
             # verification context audit the emergent state.  Announcement

@@ -25,7 +25,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..trace import hooks as _trace_hooks
 
 #: Read-only per-run context, set in the parent before the pool forks and
 #: inherited by every worker process.
@@ -40,6 +42,33 @@ def worker_context() -> Any:
 def _set_context(context: Any) -> None:
     global _WORKER_CONTEXT
     _WORKER_CONTEXT = context
+
+
+class _TracedTask:
+    """Runs the inner worker with a fresh per-task
+    :class:`~repro.trace.hooks.TraceContext` installed and returns
+    ``(result, frozen trace)``.
+
+    The parent merges the frozen traces back in task order, so the merged
+    trace depends only on the task list — byte-identical whether the
+    tasks ran serially in process or across forked workers (a forked
+    worker inherits the parent's installed context object via the module
+    slot, which this wrapper swaps out for the task's own child).
+    """
+
+    def __init__(self, inner: Callable[[Any], Any], config: Dict[str, Any]):
+        self.inner = inner
+        self.config = config
+
+    def __call__(self, task: Any) -> Any:
+        child = _trace_hooks.TraceContext(**self.config)
+        previous = _trace_hooks.ACTIVE
+        _trace_hooks.ACTIVE = child
+        try:
+            result = self.inner(task)
+        finally:
+            _trace_hooks.ACTIVE = previous
+        return result, child.freeze()
 
 
 class ParallelRunner:
@@ -69,6 +98,12 @@ class ParallelRunner:
         task_list = list(tasks)
         if not task_list:
             return []
+        tctx = _trace_hooks.ACTIVE
+        if tctx is not None:
+            # Each task traces into its own child context; payloads merge
+            # back (in task order) after the map, so the trace is the
+            # same for any degree of parallelism.
+            worker = _TracedTask(worker, tctx.worker_config())
         procs = self.resolved_processes(len(task_list))
         if procs > 1:
             try:
@@ -78,23 +113,29 @@ class ParallelRunner:
         _set_context(context)
         try:
             if procs <= 1:
-                return [worker(task) for task in task_list]
-            # ProcessPoolExecutor rather than multiprocessing.Pool: a
-            # worker that dies hard (os._exit, SIGKILL, segfault) raises
-            # BrokenProcessPool here instead of hanging the parent, and a
-            # worker exception — including a pickled InvariantViolation
-            # with its reports — propagates from the map iterator.  The
-            # chunking mirrors Pool.map's default so the task batching
-            # (and thus worker-side execution order) is unchanged.
-            chunksize, extra = divmod(len(task_list), procs * 4)
-            if extra:
-                chunksize += 1
-            with ProcessPoolExecutor(
-                max_workers=procs, mp_context=ctx
-            ) as pool:
-                return list(pool.map(worker, task_list, chunksize=chunksize))
+                results = [worker(task) for task in task_list]
+            else:
+                # ProcessPoolExecutor rather than multiprocessing.Pool: a
+                # worker that dies hard (os._exit, SIGKILL, segfault) raises
+                # BrokenProcessPool here instead of hanging the parent, and a
+                # worker exception — including a pickled InvariantViolation
+                # with its reports — propagates from the map iterator.  The
+                # chunking mirrors Pool.map's default so the task batching
+                # (and thus worker-side execution order) is unchanged.
+                chunksize, extra = divmod(len(task_list), procs * 4)
+                if extra:
+                    chunksize += 1
+                with ProcessPoolExecutor(
+                    max_workers=procs, mp_context=ctx
+                ) as pool:
+                    results = list(
+                        pool.map(worker, task_list, chunksize=chunksize)
+                    )
         finally:
             _set_context(None)
+        if tctx is not None:
+            results = tctx.merge_task_results(results)
+        return results
 
 
 def replication_seeds(seed: int, runs: int) -> List[int]:

@@ -32,6 +32,7 @@ from ..core.id_tree import IdTree
 from ..core.ids import Id, IdScheme, NULL_ID
 from ..crypto import cipher
 from ..crypto.keystore import KeyStore
+from ..trace import hooks as _trace_hooks
 from .keys import Encryption, RekeyMessage
 
 
@@ -163,6 +164,11 @@ class ModifiedKeyTree:
 
         encryptions = self._generate_encryptions(updated)
         self.interval += 1
+        tctx = _trace_hooks.ACTIVE
+        if tctx is not None:
+            tctx.observe_batch_rekey(
+                self.interval - 1, joins, leaves, updated, encryptions
+            )
         return RekeyMessage(self.interval - 1, tuple(encryptions))
 
     def _mark_updated(self, changed_unodes: Sequence[Id]) -> List[Id]:

@@ -1,20 +1,35 @@
-"""CSV export of experiment series.
+"""Export of experiment series and observability artifacts.
 
 Every figure of the paper is a plot; these helpers dump the regenerated
 series as CSV so any plotting tool can redraw them (the repository avoids
-a hard matplotlib dependency)."""
+a hard matplotlib dependency).  The trace/metrics exporters at the bottom
+render :mod:`repro.trace` captures as JSONL traces and Prometheus text.
+
+All writers create missing parent directories and encode UTF-8, so an
+export path like ``out/run3/fig7.csv`` works on a fresh checkout and
+non-ASCII values (member labels, error details) round-trip."""
 
 from __future__ import annotations
 
 import csv
-from typing import Dict, Iterable, Sequence
+import os
+from typing import Dict, Iterable, Optional, Sequence
 
 from .stats import InverseCdf, RankedRuns
 
 
+def _open_for_write(path: str):
+    """Open ``path`` for text writing, creating parent directories and
+    pinning UTF-8 (locale-independent exports)."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    return open(path, "w", newline="", encoding="utf-8")
+
+
 def write_inverse_cdf(path: str, cdf: InverseCdf, value_name: str) -> None:
     """``fraction,value`` rows — one of the paper's inverse CDFs."""
-    with open(path, "w", newline="") as handle:
+    with _open_for_write(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(["fraction_of_users", value_name])
         for fraction, value in zip(cdf.fractions, cdf.values):
@@ -23,7 +38,7 @@ def write_inverse_cdf(path: str, cdf: InverseCdf, value_name: str) -> None:
 
 def write_ranked_runs(path: str, ranked: RankedRuns, value_name: str) -> None:
     """Fig.-6-style series: per-rank mean and 95th percentile."""
-    with open(path, "w", newline="") as handle:
+    with _open_for_write(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(
             ["fraction_of_users", f"{value_name}_mean", f"{value_name}_p95"]
@@ -38,25 +53,33 @@ def write_ranked_runs(path: str, ranked: RankedRuns, value_name: str) -> None:
 
 def write_table(path: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
     """A generic figure table (e.g. the Fig. 12 (J, L) surface)."""
-    with open(path, "w", newline="") as handle:
+    with _open_for_write(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(list(header))
         for row in rows:
             writer.writerow(list(row))
 
 
-def write_repair_report(path: str, rows: Iterable[Dict[str, object]]) -> None:
+def write_repair_report(
+    path: str,
+    rows: Iterable[Dict[str, object]],
+    header: Optional[Sequence[str]] = None,
+) -> None:
     """Reliability-sweep rows (loss rate, delivery ratio, repair
-    counters) as CSV.  The column set is the first row's key order and
-    floats are fixed to six digits, so a seeded sweep exports
-    byte-identical files run to run."""
+    counters) as CSV.  The column set is the first row's key order (or
+    the explicit ``header``) and floats are fixed to six digits, so a
+    seeded sweep exports byte-identical files run to run.  An empty sweep
+    writes a header-only (or, with no header known, empty) file rather
+    than raising — a zero-row sweep is a valid result."""
     rows = list(rows)
-    if not rows:
-        raise ValueError("repair report needs at least one row")
-    header = list(rows[0])
-    with open(path, "w", newline="") as handle:
+    if header is None:
+        header = list(rows[0]) if rows else []
+    else:
+        header = list(header)
+    with _open_for_write(path) as handle:
         writer = csv.writer(handle)
-        writer.writerow(header)
+        if header:
+            writer.writerow(header)
         for row in rows:
             if list(row) != header:
                 raise ValueError(
@@ -73,7 +96,7 @@ def write_violation_reports(path: str, reports: Iterable) -> None:
     """Invariant-violation reports (:class:`repro.verify.ViolationReport`)
     as CSV — one row per report, so a verification sweep's findings can be
     archived and diffed alongside the figure data."""
-    with open(path, "w", newline="") as handle:
+    with _open_for_write(path) as handle:
         writer = csv.writer(handle)
         writer.writerow(
             ["checker", "citation", "detail", "offending_ids", "seed", "repro"]
@@ -89,6 +112,23 @@ def write_violation_reports(path: str, reports: Iterable) -> None:
                     report.repro or "",
                 ]
             )
+
+
+def write_trace_jsonl(path: str, context) -> None:
+    """A :class:`repro.trace.TraceContext`'s normalized trace as JSONL —
+    one header line, one line per span (creation order), then the sorted
+    metric block.  Byte-stable for a given seed: the file doubles as a
+    golden regression artifact (see ``docs/OBSERVABILITY.md``)."""
+    with _open_for_write(path) as handle:
+        handle.write(context.render())
+
+
+def write_prometheus(path: str, registry) -> None:
+    """A :class:`repro.trace.MetricsRegistry` in Prometheus text
+    exposition format (counters, gauges, and cumulative-bucket
+    histograms), ready for a node-exporter textfile collector."""
+    with _open_for_write(path) as handle:
+        handle.write(registry.to_prometheus_text())
 
 
 def write_latency_comparison(prefix: str, comparison) -> Dict[str, str]:

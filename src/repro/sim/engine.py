@@ -16,6 +16,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..trace import hooks as _trace_hooks
+
 
 @dataclass(order=True)
 class Event:
@@ -100,6 +102,20 @@ class Simulator:
     ) -> int:
         """Run events until the queue drains, simulated time passes
         ``until``, or ``max_events`` have run.  Returns events executed."""
+        tctx = _trace_hooks.ACTIVE
+        if tctx is None:
+            return self._drain(until, max_events)
+        with tctx.span("sim.run") as span:
+            executed = self._drain(until, max_events)
+            span.set(events=executed, now_ms=self.now)
+        tctx.registry.inc("sim.events", executed)
+        return executed
+
+    def _drain(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:

@@ -1,0 +1,65 @@
+"""Structured tracing & metrics for the rekeying reproduction.
+
+The package has three layers:
+
+* :mod:`repro.trace.spans` — deterministic span records and tree helpers;
+* :mod:`repro.trace.registry` — counters / gauges / histograms with
+  Prometheus-text and JSONL export (wired through
+  :mod:`repro.metrics.export`);
+* :mod:`repro.trace.hooks` — the opt-in runtime context the hot paths
+  consult (``with tracing(): ...`` or ``--trace`` on the CLI), following
+  the zero-overhead-when-off slot discipline of :mod:`repro.verify.hooks`.
+
+:mod:`repro.trace.golden` defines the canonical fixed-seed workloads
+whose normalized traces are committed as regression artifacts under
+``tests/fixtures/`` (see ``docs/OBSERVABILITY.md``).
+
+Only span/registry/hook layers are imported eagerly; the golden module
+imports experiment drivers and resolves lazily.
+"""
+
+from .hooks import TraceContext, active, install, tracing, uninstall
+from .registry import DEFAULT_BUCKETS, MetricsRegistry
+from .spans import (
+    ROOT,
+    TRACE_VERSION,
+    Span,
+    children_index,
+    span_depths,
+    well_nested_problems,
+)
+
+_LAZY = {
+    "GOLDEN_TRACES": "golden",
+    "compare_traces": "golden",
+    "fig7_trace": "golden",
+    "rekey256_trace": "golden",
+}
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "ROOT",
+    "Span",
+    "TRACE_VERSION",
+    "TraceContext",
+    "active",
+    "children_index",
+    "install",
+    "span_depths",
+    "tracing",
+    "uninstall",
+    "well_nested_problems",
+    *_LAZY,
+]
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    value = getattr(import_module(f".{module_name}", __name__), name)
+    globals()[name] = value
+    return value

@@ -1,12 +1,19 @@
-"""Tests for the command-line interface and report generator."""
+"""Tests for the command-line interface, the report generator, and the
+trace-report tool."""
 
+import json
 import os
+import pathlib
+import subprocess
+import sys
 
 import pytest
 
 from repro.__main__ import main
 from repro.experiments.config import SCALES
 from repro.experiments.report import PAPER_CLAIMS, render_markdown, ReportSection
+
+TOOLS = pathlib.Path(__file__).parent.parent / "tools"
 
 
 class TestCli:
@@ -28,6 +35,98 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+@pytest.mark.trace
+class TestTraceCli:
+    def test_bare_trace_prints_summary(self, capsys):
+        """Bare --trace (flag before the subcommand) runs the command
+        under a trace context and prints the summary to stderr."""
+        assert main(["--trace", "quickstart"]) == 0
+        captured = capsys.readouterr()
+        assert "rekey cost" in captured.out
+        assert "[trace]" in captured.err
+        assert "session(s)" in captured.err
+
+    def test_trace_to_file(self, capsys, tmp_path):
+        out = tmp_path / "cli.jsonl"
+        assert main([f"--trace={out}", "quickstart"]) == 0
+        assert f"wrote {out}" in capsys.readouterr().err
+        header = json.loads(
+            out.read_text(encoding="utf-8").splitlines()[0]
+        )
+        assert header["kind"] == "header"
+        assert header["label"] == "cli:quickstart"
+
+    def test_trace_composes_with_verify(self, capsys, tmp_path):
+        out = tmp_path / "both.jsonl"
+        assert main(["--verify", f"--trace={out}", "quickstart"]) == 0
+        err = capsys.readouterr().err
+        assert "[verify]" in err
+        assert "[trace]" in err
+        assert out.exists()
+
+
+@pytest.mark.trace
+class TestTraceReportTool:
+    def _write_trace(self, path):
+        from repro.metrics.export import write_trace_jsonl
+        from repro.trace import tracing
+
+        from tests.conftest import make_static_world
+        from repro.core.ids import Id, IdScheme
+        from repro.core.tmesh import rekey_session
+
+        scheme = IdScheme(2, 3)
+        ids = [Id((i, j)) for i in range(3) for j in range(2)]
+        topology, _, tables, server_table = make_static_world(
+            scheme, ids, seed=3
+        )
+        with tracing(seed=3, label="cli-smoke") as ctx:
+            rekey_session(server_table, tables, topology)
+        write_trace_jsonl(str(path), ctx)
+
+    def _run(self, *argv):
+        env = dict(os.environ)
+        root = TOOLS.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src"), str(root), env.get("PYTHONPATH", "")]
+        )
+        return subprocess.run(
+            [sys.executable, str(TOOLS / "trace_report.py"), *map(str, argv)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+            env=env,
+        )
+
+    def test_summary_report(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        self._write_trace(trace)
+        result = self._run(trace)
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "trace report" in result.stdout
+        assert "tmesh.session" in result.stdout
+        assert "tmesh.hop" in result.stdout
+        assert "max depth 1" in result.stdout
+
+    def test_golden_match_and_mismatch(self, tmp_path):
+        trace = tmp_path / "t.jsonl"
+        self._write_trace(trace)
+        golden = tmp_path / "golden.jsonl"
+        golden.write_text(
+            trace.read_text(encoding="utf-8"), encoding="utf-8"
+        )
+        ok = self._run(trace, "--golden", golden)
+        assert ok.returncode == 0, ok.stdout + ok.stderr
+        assert "byte-exact" in ok.stdout
+
+        golden.write_text(
+            trace.read_text(encoding="utf-8") + "extra\n", encoding="utf-8"
+        )
+        bad = self._run(trace, "--golden", golden)
+        assert bad.returncode == 1
+        assert "DIVERGES" in bad.stdout
 
 
 class TestReport:

@@ -23,6 +23,39 @@ def test_example_runs(script):
     assert result.stdout  # every example narrates what it does
 
 
+@pytest.mark.trace
+def test_quickstart_trace_flag(tmp_path):
+    """The quickstart's --trace demo: summary on bare --trace, a JSONL
+    trace file when given a path."""
+    script = pathlib.Path(__file__).parent.parent / "examples" / "quickstart.py"
+    out = tmp_path / "quickstart.jsonl"
+    result = subprocess.run(
+        [sys.executable, str(script), f"--trace={out}"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "== trace ==" in result.stdout
+    assert "traced" in result.stdout
+    lines = out.read_text(encoding="utf-8").splitlines()
+    assert lines  # header + spans + metrics
+    import json
+
+    header = json.loads(lines[0])
+    assert header["kind"] == "header"
+    assert header["label"] == "quickstart"
+
+    summary_only = subprocess.run(
+        [sys.executable, str(script), "--trace"],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert summary_only.returncode == 0, summary_only.stderr[-2000:]
+    assert "session(s)" in summary_only.stdout
+
+
 def test_expected_examples_present():
     names = {p.stem for p in EXAMPLES}
     assert {

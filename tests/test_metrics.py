@@ -1,10 +1,20 @@
 """Tests for the metrics layer: stats helpers, latency and bandwidth
-accounting."""
+accounting, and the file exporters' edge cases (empty row sets, missing
+parent directories, non-ASCII values)."""
+
+import csv
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.metrics.export import (
+    write_prometheus,
+    write_repair_report,
+    write_table,
+    write_trace_jsonl,
+    write_violation_reports,
+)
 from repro.metrics.stats import inverse_cdf, ranked_across_runs, summarize
 
 
@@ -134,3 +144,96 @@ class TestBandwidthAccounting:
         sample = alm_unsplit_bandwidth(session, message_size=50)
         assert (sample.received == 50).all()
         assert sample.forwarded.sum() == 50 * len(session.edges) - 50  # server edge
+
+
+class TestExportEdgeCases:
+    """The writers must survive what real sweeps hand them: zero rows,
+    export paths in directories that do not exist yet, and values beyond
+    ASCII."""
+
+    def test_write_table_empty_rows(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_table(str(path), ["a", "b"], [])
+        with open(path, newline="", encoding="utf-8") as handle:
+            assert list(csv.reader(handle)) == [["a", "b"]]
+
+    def test_write_repair_report_empty_rows(self, tmp_path):
+        """A zero-row sweep is a valid result, not an error."""
+        path = tmp_path / "repairs.csv"
+        write_repair_report(str(path), [])
+        assert path.read_text(encoding="utf-8") == ""
+
+    def test_write_repair_report_empty_rows_with_header(self, tmp_path):
+        path = tmp_path / "repairs.csv"
+        write_repair_report(
+            str(path), [], header=["loss", "delivery_ratio"]
+        )
+        with open(path, newline="", encoding="utf-8") as handle:
+            assert list(csv.reader(handle)) == [["loss", "delivery_ratio"]]
+
+    def test_write_violation_reports_empty(self, tmp_path):
+        path = tmp_path / "violations.csv"
+        write_violation_reports(str(path), [])
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert len(rows) == 1  # header only
+        assert rows[0][0] == "checker"
+
+    def test_writers_create_missing_parent_dirs(self, tmp_path):
+        nested = tmp_path / "out" / "run3" / "table.csv"
+        write_table(str(nested), ["x"], [[1]])
+        assert nested.exists()
+        deeper = tmp_path / "a" / "b" / "repairs.csv"
+        write_repair_report(str(deeper), [{"loss": 0.1}])
+        assert deeper.exists()
+
+    def test_non_ascii_values_round_trip(self, tmp_path):
+        path = tmp_path / "unicode.csv"
+        write_table(str(path), ["member", "détail"], [["nœud-3", "héhé ✓"]])
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["member", "détail"], ["nœud-3", "héhé ✓"]]
+
+    def test_violation_report_non_ascii_detail(self, tmp_path):
+        from repro.verify.report import ViolationReport
+
+        path = tmp_path / "reports" / "v.csv"
+        write_violation_reports(
+            str(path),
+            [
+                ViolationReport(
+                    checker="exactly-once",
+                    citation="Théorème 1",
+                    detail="membre [0,1,2] reçu 2 copies — défaillance",
+                    offending_ids=("[0,1,2]",),
+                    seed=7,
+                )
+            ],
+        )
+        with open(path, newline="", encoding="utf-8") as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1][1] == "Théorème 1"
+        assert "défaillance" in rows[1][2]
+
+    def test_write_trace_jsonl_and_prometheus(self, tmp_path):
+        from repro.trace import TraceContext
+
+        context = TraceContext(seed=3, label="unité-✓")
+        with context.span("outer", who="nœud"):
+            context.count("events", 2)
+        trace_path = tmp_path / "traces" / "t.jsonl"
+        write_trace_jsonl(str(trace_path), context)
+        text = trace_path.read_text(encoding="utf-8")
+        assert text == context.render()
+        assert text.endswith("\n")
+
+        prom_path = tmp_path / "prom" / "metrics.prom"
+        write_prometheus(str(prom_path), context.registry)
+        assert "events 2" in prom_path.read_text(encoding="utf-8")
+
+    def test_repair_report_inconsistent_columns_still_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        with pytest.raises(ValueError):
+            write_repair_report(
+                str(path), [{"loss": 0.1}, {"delivery": 1.0}]
+            )

@@ -16,6 +16,10 @@ against Section 2.4):
 * ``distributed``     — the message-level protocol world, audited for
                         emergent 1-consistency and duplicate-free
                         interval delivery at quiescence.
+* ``traced-rekey``    — verification and tracing hooks composed on a
+                        256-user rekey, with the trace-determinism
+                        invariant (same seed => byte-identical trace)
+                        checked over two runs.
 * ``corruption-canary`` — a deliberately corrupted server table; this
                         scenario MUST trip the checkers.  It proves the
                         gate can fail, so a silently broken verification
@@ -148,6 +152,56 @@ def scenario_distributed(seed: int, users: int) -> str:
         return ctx.summary()
 
 
+def scenario_traced_rekey(seed: int, users: int) -> str:
+    """Verification and tracing hooks composed on one workload, plus the
+    trace-determinism invariant: the same seed must render the same
+    bytes, run to run (docs/OBSERVABILITY.md)."""
+    from repro.trace import tracing
+    from repro.verify.report import ViolationReport
+
+    def one_run() -> tuple:
+        from repro.experiments.common import build_group, build_topology
+
+        size = min(users, 256)
+        topology = build_topology("gtitm", size, seed=seed)
+        with verification(seed=seed) as vctx, tracing(
+            seed=seed, label="traced-rekey"
+        ) as tctx:
+            group = build_group(topology, size, seed=seed)
+            rekey_session(group.server_table, group.tables, topology)
+            tree = ModifiedKeyTree(group.scheme)
+            for uid in sorted(group.records):
+                tree.request_join(uid)
+            message = tree.process_batch()
+            vctx.observe_key_tree(tree)
+            vctx.observe_rekey(message, tree.user_ids, group.scheme)
+        return vctx.summary(), tctx.render()
+
+    verify_summary, first = one_run()
+    _, second = one_run()
+    if first != second:
+        diverging = next(
+            (i for i, (a, b) in enumerate(
+                zip(first.splitlines(), second.splitlines())
+            ) if a != b),
+            min(len(first.splitlines()), len(second.splitlines())),
+        )
+        raise InvariantViolation(
+            [
+                ViolationReport(
+                    checker="trace-determinism",
+                    citation="docs/OBSERVABILITY.md",
+                    detail=f"same-seed traces diverge at line {diverging}",
+                    seed=seed,
+                    repro="PYTHONPATH=src python tools/check_invariants.py "
+                    f"--only traced-rekey --seed {seed}",
+                )
+            ]
+        )
+    return (f"{verify_summary}; trace stable over 2 runs "
+            f"({len(first.splitlines())} lines)")
+
+
 def scenario_corruption_canary(seed: int, users: int) -> str:
     """MUST raise: a server table with one entry emptied cuts off a
     level-1 subtree, violating Theorem 1 on the next multicast."""
@@ -180,6 +234,7 @@ SCENARIOS = [
     ("fig7-latency", scenario_fig7_latency, False),
     ("churn", scenario_churn, False),
     ("distributed", scenario_distributed, False),
+    ("traced-rekey", scenario_traced_rekey, False),
     ("corruption-canary", scenario_corruption_canary, True),
 ]
 

@@ -1,0 +1,129 @@
+#!/usr/bin/env python
+"""Summarize (or golden-compare) a normalized trace JSONL file.
+
+A trace comes out of ``python -m repro --trace=run.jsonl <cmd>``, the
+:func:`repro.metrics.export.write_trace_jsonl` exporter, or the golden
+generators in :mod:`repro.trace.golden`.  This tool renders the capture
+as a human-readable report:
+
+* the header (format version, seed, label, span count);
+* span counts grouped by name, with the maximum tree depth;
+* the counter/gauge table and histogram summaries.
+
+With ``--golden EXPECTED`` it instead byte-compares the trace against a
+committed golden fixture and exits 0 on an exact match, 1 with a diff
+summary otherwise — the same discipline ``tests/test_trace_golden.py``
+enforces in the suite.
+
+Usage::
+
+    PYTHONPATH=src python -m repro --trace=run.jsonl fig 7
+    PYTHONPATH=src python tools/trace_report.py run.jsonl
+    PYTHONPATH=src python tools/trace_report.py run.jsonl \
+        --golden tests/fixtures/trace_fig7.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro.trace import compare_traces  # noqa: E402
+from repro.trace.spans import ROOT  # noqa: E402
+
+
+def load_records(path: str) -> List[dict]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return [json.loads(line) for line in handle if line.strip()]
+
+
+def report(path: str, records: List[dict]) -> str:
+    headers = [r for r in records if r.get("kind") == "header"]
+    spans = [r for r in records if r.get("kind") == "span"]
+    counters = [r for r in records if r.get("kind") == "counter"]
+    gauges = [r for r in records if r.get("kind") == "gauge"]
+    histograms = [r for r in records if r.get("kind") == "histogram"]
+
+    lines = [f"trace report: {path}"]
+    if headers:
+        h = headers[0]
+        lines.append(
+            f"  header: version={h.get('version')} seed={h.get('seed')} "
+            f"label={h.get('label')} spans={h.get('spans')}"
+        )
+
+    by_name: Dict[str, int] = {}
+    depth: Dict[int, int] = {}
+    max_depth = 0
+    for span in spans:
+        by_name[span["name"]] = by_name.get(span["name"], 0) + 1
+        parent = span["parent"]
+        d = 0 if parent == ROOT else depth.get(parent, 0) + 1
+        depth[span["id"]] = d
+        max_depth = max(max_depth, d)
+    lines.append(f"  spans: {len(spans)} total, max depth {max_depth}")
+    for name in sorted(by_name):
+        lines.append(f"    {name:24s} {by_name[name]}")
+
+    if counters or gauges:
+        lines.append(f"  metrics: {len(counters)} counter(s), "
+                     f"{len(gauges)} gauge(s)")
+        for record in counters + gauges:
+            labels = "".join(
+                f" {k}={v}" for k, v in sorted(record["labels"].items())
+            )
+            lines.append(
+                f"    {record['name']:32s} {record['value']}{labels}"
+            )
+    if histograms:
+        lines.append(f"  histograms: {len(histograms)}")
+        for record in histograms:
+            count = record["count"]
+            mean = record["sum"] / count if count else 0.0
+            lines.append(
+                f"    {record['name']:32s} count={count} "
+                f"sum={record['sum']:.3f} mean={mean:.3f}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize or golden-compare a normalized trace "
+        "(docs/OBSERVABILITY.md)"
+    )
+    parser.add_argument("trace", help="trace JSONL file to inspect")
+    parser.add_argument(
+        "--golden", default=None, metavar="EXPECTED",
+        help="byte-compare against a golden fixture instead of "
+        "summarizing; exit 1 on any difference",
+    )
+    args = parser.parse_args(argv)
+
+    if args.golden:
+        with open(args.golden, "r", encoding="utf-8") as handle:
+            expected = handle.read()
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            actual = handle.read()
+        problems = compare_traces(expected, actual)
+        if problems:
+            print(f"trace {args.trace} DIVERGES from golden {args.golden}:")
+            for problem in problems:
+                print(f"  {problem}")
+            return 1
+        print(f"trace {args.trace} matches golden {args.golden} "
+              f"({len(actual.splitlines())} lines, byte-exact)")
+        return 0
+
+    print(report(args.trace, load_records(args.trace)))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
