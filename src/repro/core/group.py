@@ -173,6 +173,7 @@ class SecureGroup:
         :meth:`recover_member`)."""
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        # lint: disable=determinism-unseeded-rng -- interactive-use fallback; every driver/test threads a seeded Generator
         rng = loss_rng if loss_rng is not None else np.random.default_rng()
         message = self.key_tree.process_batch()
         delivered: Dict[Id, int] = {}

@@ -253,6 +253,7 @@ def complete_user_id(
     a last resort any globally unique full ID is used.
     """
     scheme = id_tree.scheme
+    # lint: disable=determinism-unseeded-rng -- interactive-use fallback; every driver/test threads a seeded Generator
     rng = rng if rng is not None else np.random.default_rng()
 
     def fresh_digit(base_prefix: Id) -> Optional[int]:

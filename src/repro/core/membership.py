@@ -58,6 +58,7 @@ class Group:
         self.server_host = server_host
         self.assigner = assigner
         self.k = k
+        # lint: disable=determinism-unseeded-rng -- interactive-use fallback; every driver/test threads a seeded Generator
         self.rng = rng if rng is not None else np.random.default_rng()
         self.id_tree = IdTree(scheme)
         self.records: Dict[Id, UserRecord] = {}

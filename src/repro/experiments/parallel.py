@@ -56,6 +56,8 @@ class _TracedTask:
     slot, which this wrapper swaps out for the task's own child).
     """
 
+    __slots__ = ("inner", "config")
+
     def __init__(self, inner: Callable[[Any], Any], config: Dict[str, Any]):
         self.inner = inner
         self.config = config
@@ -79,6 +81,8 @@ class ParallelRunner:
     process.  Either way the same worker function runs with the same
     context, so results do not depend on the degree of parallelism.
     """
+
+    __slots__ = ("processes",)
 
     def __init__(self, processes: Optional[int] = None):
         if processes is not None and processes < 1:

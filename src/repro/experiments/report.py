@@ -7,9 +7,9 @@ pairing each paper claim with the regenerated numbers.  Invoked by
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from time import perf_counter
+from typing import Callable, List, Optional, Tuple
 
 from .bandwidth_experiment import run_bandwidth_experiment
 from .config import Scale, current_scale
@@ -59,14 +59,29 @@ class ReportSection:
     elapsed_s: float
 
 
-def _timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:
-    start = time.time()
+#: Monotonic interval clock for the per-driver runtime footnotes.  The
+#: timings are presentation-only (they never feed a golden trace or the
+#: oracle), and the clock is injectable so tests can pin them: the old
+#: ``time.time()`` pair here was the wall-clock leak that motivated the
+#: ``determinism-wall-clock`` lint rule (docs/STATIC_ANALYSIS.md).
+Clock = Callable[[], float]
+
+
+def _timed(fn: Callable, *args, _clock: Clock = perf_counter, **kwargs) -> Tuple[object, float]:
+    start = _clock()
     result = fn(*args, **kwargs)
-    return result, time.time() - start
+    return result, _clock() - start
 
 
-def generate_sections(scale: Scale) -> List[ReportSection]:
-    """Run every experiment at the given scale."""
+def generate_sections(
+    scale: Scale, clock: Optional[Clock] = None
+) -> List[ReportSection]:
+    """Run every experiment at the given scale.
+
+    ``clock`` (defaulting to :func:`time.perf_counter`) supplies the
+    per-driver elapsed times; inject a fake for deterministic reports.
+    """
+    clock = clock if clock is not None else perf_counter
     sections: List[ReportSection] = []
 
     fig6, dt = _timed(
@@ -77,6 +92,7 @@ def generate_sections(scale: Scale) -> List[ReportSection]:
         mode="rekey",
         runs=scale.latency_runs,
         seed=6,
+        _clock=clock,
     )
     sections.append(
         ReportSection("Fig. 6 — rekey latency, PlanetLab",
@@ -93,6 +109,7 @@ def generate_sections(scale: Scale) -> List[ReportSection]:
             mode="rekey",
             runs=max(1, scale.latency_runs // 2),
             seed=7,
+            _clock=clock,
         )
         sections.append(
             ReportSection(f"{fig} — rekey latency, GT-ITM ({users} joins)",
@@ -112,6 +129,7 @@ def generate_sections(scale: Scale) -> List[ReportSection]:
             mode="data",
             runs=max(1, scale.latency_runs // 2),
             seed=9,
+            _clock=clock,
         )
         sections.append(
             ReportSection(f"{fig} — data latency, {kind} ({users} joins)",
@@ -124,6 +142,7 @@ def generate_sections(scale: Scale) -> List[ReportSection]:
         grid=default_grid(scale.gtitm_users_large, scale.rekey_cost_grid),
         runs=scale.rekey_cost_runs,
         seed=12,
+        _clock=clock,
     )
     sections.append(
         ReportSection("Fig. 12 — rekey cost vs (J, L)",
@@ -135,6 +154,7 @@ def generate_sections(scale: Scale) -> List[ReportSection]:
         num_users=scale.gtitm_users_large,
         churn=scale.bandwidth_churn,
         seed=13,
+        _clock=clock,
     )
     sections.append(
         ReportSection("Fig. 13 — rekey bandwidth overhead",
@@ -142,7 +162,10 @@ def generate_sections(scale: Scale) -> List[ReportSection]:
     )
 
     sweep, dt = _timed(
-        run_threshold_sweep, num_users=scale.planetlab_users, seed=14
+        run_threshold_sweep,
+        num_users=scale.planetlab_users,
+        seed=14,
+        _clock=clock,
     )
     sections.append(
         ReportSection("Fig. 14 — delay-threshold sensitivity",
@@ -185,6 +208,6 @@ def render_markdown(sections: List[ReportSection], scale: Scale) -> str:
     return "\n".join(lines)
 
 
-def main(scale: Scale = None) -> str:
+def main(scale: Optional[Scale] = None, clock: Optional[Clock] = None) -> str:
     scale = scale if scale is not None else current_scale()
-    return render_markdown(generate_sections(scale), scale)
+    return render_markdown(generate_sections(scale, clock=clock), scale)

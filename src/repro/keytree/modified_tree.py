@@ -47,6 +47,7 @@ class ModifiedKeyTree:
     ):
         self.scheme = scheme
         self.crypto = crypto
+        # lint: disable=determinism-unseeded-rng -- interactive-use fallback; every driver/test threads a seeded Generator
         self._rng = rng if rng is not None else np.random.default_rng()
         self._id_tree = IdTree(scheme)
         self._versions: Dict[Id, int] = {}

@@ -190,6 +190,7 @@ class OriginalKeyTree:
     # Batch rekeying
     # ------------------------------------------------------------------
     def process_batch(self, rng: Optional[np.random.Generator] = None) -> OriginalBatchResult:
+        # lint: disable=determinism-unseeded-rng -- interactive-use fallback; every driver/test threads a seeded Generator
         rng = rng if rng is not None else np.random.default_rng()
         joins = self._pending_joins
         leaves = self._pending_leaves

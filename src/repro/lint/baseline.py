@@ -1,0 +1,101 @@
+"""The committed baseline of grandfathered findings.
+
+A baseline entry fingerprints a violation as ``(rule, path, stripped
+source line)`` plus an occurrence count — deliberately *not* the line
+number, so grandfathered findings survive unrelated edits above them.
+When the offending source line itself is deleted or fixed, the
+fingerprint no longer matches anything and ``--baseline-write`` shrinks
+the file; the gate never lets the baseline grow silently, because
+``tools/lint.py`` exits 2 on any violation the baseline does not cover.
+
+The file format is sorted, indented JSON so diffs review like code.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .violations import LintViolation, sort_key
+
+BASELINE_VERSION = 1
+
+Fingerprint = tuple[str, str, str]  # (rule, path, stripped source)
+
+
+def fingerprint(violation: LintViolation) -> Fingerprint:
+    return (violation.rule, violation.path, violation.source)
+
+
+def count_fingerprints(
+    violations: list[LintViolation],
+) -> dict[Fingerprint, int]:
+    counts: dict[Fingerprint, int] = {}
+    for violation in violations:
+        key = fingerprint(violation)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+class Baseline:
+    """Fingerprint counts loaded from (or destined for) a baseline file."""
+
+    def __init__(self, counts: dict[Fingerprint, int] | None = None) -> None:
+        self.counts: dict[Fingerprint, int] = dict(counts or {})
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_violations(cls, violations: list[LintViolation]) -> "Baseline":
+        return cls(count_fingerprints(violations))
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"unsupported baseline version in {path}: "
+                f"{payload.get('version')!r}"
+            )
+        counts: dict[Fingerprint, int] = {}
+        for entry in payload.get("entries", []):
+            key = (entry["rule"], entry["path"], entry["source"])
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    def save(self, path: Path) -> None:
+        entries = [
+            {"rule": rule, "path": file, "source": source, "count": count}
+            for (rule, file, source), count in sorted(self.counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    # ------------------------------------------------------------------
+    def split(
+        self, violations: list[LintViolation]
+    ) -> tuple[list[LintViolation], list[LintViolation]]:
+        """Partition into ``(baselined, new)``.
+
+        For each fingerprint the baseline absorbs up to its recorded
+        count of occurrences (in report order); any excess — and any
+        fingerprint it has never seen — is new and gates the run.
+        """
+        remaining = dict(self.counts)
+        baselined: list[LintViolation] = []
+        new: list[LintViolation] = []
+        for violation in sorted(violations, key=sort_key):
+            key = fingerprint(violation)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(violation)
+            else:
+                new.append(violation)
+        return baselined, new

@@ -1,0 +1,223 @@
+"""Project policy the rule families enforce — pure data, no logic.
+
+The constants here encode the four runtime disciplines the reproduction
+depends on (byte-deterministic replays, zero-overhead-off module-slot
+hooks, the DESIGN.md layering direction, and ``fork``-safe parallel
+payloads) as static-analysis policy.  Rules read these at check time, so
+policy changes are one-file diffs reviewed next to DESIGN.md.
+"""
+
+from __future__ import annotations
+
+# ----------------------------------------------------------------------
+# Determinism (golden traces, fixed-seed oracle — docs/OBSERVABILITY.md,
+# docs/VERIFY.md)
+# ----------------------------------------------------------------------
+
+#: Wall-clock reads, as flattened dotted call names.  ``time.perf_counter``
+#: is deliberately absent: it is the sanctioned way to time *reporting*
+#: (never protocol output) — see ``repro.experiments.report``.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Modules (root-relative posix paths) where wall-clock reads are allowed.
+#: Empty on purpose: the one historical leak (experiments/report.py) now
+#: routes through an injectable ``time.perf_counter`` clock.
+WALL_CLOCK_ALLOWED: frozenset[str] = frozenset()
+
+#: Module-global ``random.*`` functions — process-global RNG state, so a
+#: call anywhere breaks seed-reproducibility for everyone downstream.
+GLOBAL_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate",
+        "choice",
+        "choices",
+        "expovariate",
+        "gauss",
+        "getrandbits",
+        "lognormvariate",
+        "normalvariate",
+        "paretovariate",
+        "randbytes",
+        "randint",
+        "random",
+        "randrange",
+        "sample",
+        "seed",
+        "shuffle",
+        "triangular",
+        "uniform",
+        "vonmisesvariate",
+    }
+)
+
+#: ``numpy.random`` legacy global-state functions (``np.random.seed`` and
+#: friends).  ``np.random.default_rng(seed)`` is the sanctioned spelling;
+#: an *argument-less* ``default_rng()`` is flagged separately because it
+#: seeds from OS entropy.
+GLOBAL_NP_RANDOM_FUNCS = frozenset(
+    {
+        "choice",
+        "normal",
+        "permutation",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: The only package whose modules may read OS entropy (``os.urandom``,
+#: ``random.SystemRandom``): real keys are its job, everyone else must be
+#: a deterministic function of a seed.
+ENTROPY_PACKAGES = frozenset({"crypto"})
+
+#: Packages whose outputs are ordering-sensitive (protocol paths feeding
+#: golden traces and the differential oracle): iterating a *set* there is
+#: nondeterministic across processes (hash randomization), unlike dicts,
+#: whose insertion order is guaranteed.
+PROTOCOL_PACKAGES = frozenset({"core", "keytree", "alm", "sim", "distributed"})
+
+# ----------------------------------------------------------------------
+# Hook discipline (zero-overhead module slots — repro.trace.hooks,
+# repro.verify.hooks)
+# ----------------------------------------------------------------------
+
+#: The module-slot hook layers.  Hot-path modules may import exactly
+#: these *modules* (``from ..trace import hooks``) — never names out of
+#: them (binding ``ACTIVE`` or a context class snapshots the slot) and
+#: never anything else from the packages (checkers/oracle/golden drag
+#: protocol code into hot imports; they are loaded lazily by design).
+SLOT_MODULES = frozenset({"repro.trace.hooks", "repro.verify.hooks"})
+
+#: The packages the eager-import restriction applies to.  ``trace`` and
+#: ``verify`` are free to import themselves; the top-level CLI/API
+#: surface (``repro/__init__``, ``repro/__main__``) re-exports whole
+#: packages legitimately.
+HOT_PACKAGES = frozenset(
+    {
+        "alm",
+        "core",
+        "crypto",
+        "distributed",
+        "experiments",
+        "faults",
+        "keytree",
+        "metrics",
+        "net",
+        "perf",
+        "sim",
+    }
+)
+
+#: The slot attribute every instrumented call site must None-guard.
+SLOT_ATTRIBUTE = "ACTIVE"
+
+# ----------------------------------------------------------------------
+# Layering (DESIGN.md §3 module inventory: protocol layers must not
+# depend on orchestration layers)
+# ----------------------------------------------------------------------
+
+#: package -> packages it must never import eagerly (module level).
+#: Importing a slot module (SLOT_MODULES) is exempt — that is the hook
+#: discipline's sanctioned crossing.  Lazy (function-level) imports are
+#: also exempt: they are the documented escape hatch the verification
+#: layer itself uses to avoid cycles.
+LAYER_FORBIDDEN: dict[str, frozenset[str]] = {
+    "core": frozenset({"sim", "distributed", "experiments", "trace", "verify"}),
+    "keytree": frozenset(
+        {"alm", "sim", "distributed", "experiments", "trace", "verify"}
+    ),
+    "alm": frozenset({"sim", "distributed", "experiments", "trace", "verify"}),
+    "crypto": frozenset(
+        {
+            "alm",
+            "distributed",
+            "experiments",
+            "keytree",
+            "metrics",
+            "net",
+            "sim",
+            "trace",
+            "verify",
+        }
+    ),
+    "net": frozenset({"sim", "distributed", "experiments", "trace", "verify"}),
+    "sim": frozenset({"distributed", "experiments", "trace", "verify"}),
+    "metrics": frozenset(
+        {"sim", "distributed", "experiments", "trace", "verify"}
+    ),
+    "faults": frozenset(
+        {
+            "alm",
+            "core",
+            "crypto",
+            "distributed",
+            "experiments",
+            "keytree",
+            "metrics",
+            "net",
+            "perf",
+            "sim",
+            "trace",
+            "verify",
+        }
+    ),
+    "perf": frozenset({"distributed", "trace", "verify"}),
+    "distributed": frozenset({"experiments"}),
+    # The linter is a leaf like verify.report: it must analyse the tree
+    # without importing it.
+    "lint": frozenset(
+        {
+            "alm",
+            "core",
+            "crypto",
+            "distributed",
+            "experiments",
+            "faults",
+            "keytree",
+            "metrics",
+            "net",
+            "perf",
+            "sim",
+            "trace",
+            "verify",
+        }
+    ),
+}
+
+# ----------------------------------------------------------------------
+# Fork safety (ParallelRunner fork boundary — docs/PERFORMANCE.md)
+# ----------------------------------------------------------------------
+
+#: Attribute names that submit a payload to a worker pool.
+FORK_SUBMIT_ATTRS = frozenset({"map"})
+
+#: Modules whose classes cross (or carry payloads across) the fork
+#: boundary and should declare ``__slots__``: per-instance dicts cost
+#: both pickle bytes and memory at the paper's 1024-member scale.
+FORK_BOUNDARY_MODULES = frozenset(
+    {
+        "repro/experiments/parallel.py",
+        "repro/trace/spans.py",
+        "repro/verify/report.py",
+    }
+)

@@ -1,0 +1,139 @@
+"""Parsed-module model and shared AST helpers for the rule visitors."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+
+@dataclass(slots=True)
+class ModuleInfo:
+    """One parsed source module under the scanned root.
+
+    ``relpath`` uses posix separators relative to the root (the directory
+    containing the top-level ``repro`` package dir); ``module`` is the
+    dotted import name (``repro.core.tmesh``; packages drop the
+    ``__init__`` suffix); ``package`` is the first-level subpackage
+    (``core``) or ``<top>`` for ``repro/__init__.py`` and
+    ``repro/__main__.py``.
+    """
+
+    path: Path
+    relpath: str
+    module: str
+    package: str
+    is_package: bool
+    tree: ast.Module
+    source: str
+    lines: list[str]
+
+    def source_line(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "ModuleInfo":
+        rel = path.relative_to(root)
+        relpath = rel.as_posix()
+        parts = list(rel.with_suffix("").parts)
+        is_package = parts[-1] == "__init__"
+        if is_package:
+            parts = parts[:-1]
+        module = ".".join(parts)
+        package = parts[1] if len(parts) >= 2 else "<top>"
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            relpath=relpath,
+            module=module,
+            package=package,
+            is_package=is_package,
+            tree=tree,
+            source=source,
+            lines=source.splitlines(),
+        )
+
+
+def flatten_attribute(node: ast.expr) -> str | None:
+    """``a.b.c`` as ``"a.b.c"``; ``None`` when the chain is not built
+    purely from names (calls, subscripts, ...)."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+@dataclass(frozen=True, slots=True)
+class EagerImport:
+    """One module-level import, with its target resolved to a dotted
+    absolute name (relative imports resolved against the module)."""
+
+    node: ast.stmt
+    target: str                    # e.g. "repro.trace"
+    names: tuple[str, ...]         # bound names for ImportFrom, () for Import
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _resolve_relative(module: ModuleInfo, node: ast.ImportFrom) -> str:
+    """Absolute dotted target of a (possibly relative) ``from`` import."""
+    if node.level == 0:
+        return node.module or ""
+    # The package the module lives in: a package __init__ *is* its
+    # package; a plain module's package is its parent.
+    base = module.module.split(".")
+    if not module.is_package:
+        base = base[:-1]
+    up = node.level - 1
+    if up:
+        base = base[: len(base) - up] if up <= len(base) else []
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base)
+
+
+def eager_imports(module: ModuleInfo) -> Iterator[EagerImport]:
+    """Module-level (eager) imports, skipping ``if TYPE_CHECKING:``
+    blocks — those never execute at runtime, so they cannot violate the
+    import-time disciplines.  Function-level imports are deliberately
+    excluded: lazy loading is the documented escape hatch the hook and
+    verification layers use to break cycles."""
+
+    def walk(statements: list[ast.stmt]) -> Iterator[EagerImport]:
+        for statement in statements:
+            if isinstance(statement, ast.Import):
+                for alias in statement.names:
+                    yield EagerImport(statement, alias.name, ())
+            elif isinstance(statement, ast.ImportFrom):
+                target = _resolve_relative(module, statement)
+                names = tuple(alias.name for alias in statement.names)
+                yield EagerImport(statement, target, names)
+            elif isinstance(statement, ast.If):
+                if _is_type_checking_test(statement.test):
+                    yield from walk(statement.orelse)
+                else:
+                    yield from walk(statement.body)
+                    yield from walk(statement.orelse)
+            elif isinstance(statement, ast.Try):
+                yield from walk(statement.body)
+                for handler in statement.handlers:
+                    yield from walk(handler.body)
+                yield from walk(statement.orelse)
+                yield from walk(statement.finalbody)
+
+    yield from walk(module.tree.body)

@@ -1,0 +1,212 @@
+"""Determinism rules.
+
+Every replay artifact in this reproduction — golden traces, the
+fixed-seed differential oracle, bitwise perf equivalence — is a promise
+that the same seed produces the same bytes.  These rules catch the
+source patterns that silently break it: wall-clock reads, process-global
+or OS-entropy-seeded RNGs, and set iteration on protocol paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import (
+    ENTROPY_PACKAGES,
+    GLOBAL_NP_RANDOM_FUNCS,
+    GLOBAL_RANDOM_FUNCS,
+    PROTOCOL_PACKAGES,
+    WALL_CLOCK_ALLOWED,
+    WALL_CLOCK_CALLS,
+)
+from ..modules import ModuleInfo, flatten_attribute
+from ..violations import LintViolation
+from . import Rule
+
+
+def _module_imports(module: ModuleInfo, name: str) -> bool:
+    """Does the module ``import name`` (or ``import name as ...``)
+    anywhere?  Used to tell the stdlib ``random`` module apart from a
+    local variable that happens to share the name."""
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == name or alias.name.startswith(name + "."):
+                    return True
+    return False
+
+
+class WallClockRule(Rule):
+    """No ``time.time`` / ``time.monotonic`` / ``datetime.now`` (and
+    kin): simulated time is the only clock protocol code may read, and
+    report timing must go through an injectable ``time.perf_counter``
+    (see ``repro.experiments.report``)."""
+
+    rule_id = "determinism-wall-clock"
+    family = "determinism"
+    citation = "byte-deterministic replays (docs/OBSERVABILITY.md, docs/VERIFY.md)"
+    description = (
+        "wall-clock read; use simulated time, or an injectable "
+        "time.perf_counter clock for report timing"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if module.relpath in WALL_CLOCK_ALLOWED:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = flatten_attribute(node.func)
+            if dotted in WALL_CLOCK_CALLS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"wall-clock read `{dotted}()` — nondeterministic "
+                    "input to a byte-deterministic pipeline; route timing "
+                    "through an injectable time.perf_counter clock",
+                )
+
+
+class UnseededRandomRule(Rule):
+    """No process-global or entropy-seeded RNGs: every random draw must
+    come from a ``random.Random(seed)`` / ``np.random.default_rng(seed)``
+    instance threaded from the scenario seed."""
+
+    rule_id = "determinism-unseeded-rng"
+    family = "determinism"
+    citation = "fixed-seed oracle suite (docs/VERIFY.md)"
+    description = (
+        "global random.* call, unseeded Random()/default_rng(), or "
+        "np.random global-state function"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        has_random = _module_imports(module, "random")
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = flatten_attribute(node.func)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if (
+                has_random
+                and len(parts) == 2
+                and parts[0] == "random"
+                and parts[1] in GLOBAL_RANDOM_FUNCS
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"`{dotted}()` uses the process-global RNG; draw from "
+                    "a random.Random(seed) threaded from the scenario seed",
+                )
+            elif dotted == "random.Random" and not node.args and not node.keywords:
+                yield self.violation(
+                    module,
+                    node,
+                    "`random.Random()` without a seed draws from OS "
+                    "entropy; pass the scenario seed",
+                )
+            elif (
+                parts[-2:] == ["random", "default_rng"]
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    "`default_rng()` without a seed draws from OS entropy; "
+                    "pass the scenario seed",
+                )
+            elif (
+                len(parts) >= 3
+                and parts[-2] == "random"
+                and parts[0] in ("np", "numpy")
+                and parts[-1] in GLOBAL_NP_RANDOM_FUNCS
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"`{dotted}()` touches numpy's global RNG state; use "
+                    "a np.random.default_rng(seed) Generator",
+                )
+
+
+class UrandomOutsideCryptoRule(Rule):
+    """OS entropy is for real keys only: ``os.urandom`` /
+    ``random.SystemRandom`` outside ``repro.crypto`` makes a scenario
+    unreplayable."""
+
+    rule_id = "determinism-urandom"
+    family = "determinism"
+    citation = "repro.crypto is the entropy boundary (DESIGN.md §3)"
+    description = "os.urandom / SystemRandom outside repro.crypto"
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if module.package in ENTROPY_PACKAGES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = flatten_attribute(node.func)
+            if dotted == "os.urandom" or (
+                dotted is not None and dotted.endswith("SystemRandom")
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"`{dotted}` reads OS entropy outside repro.crypto; "
+                    "protocol code must be a deterministic function of "
+                    "its seed",
+                )
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, ast.Set):
+        return True
+    if isinstance(node, ast.SetComp):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # set algebra (a | b, a - b, ...) — only flag when a side is
+        # syntactically a set, otherwise this matches integer arithmetic.
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class SetIterationOrderRule(Rule):
+    """Iterating a set in a protocol package feeds hash-randomized order
+    into paths whose outputs are order-sensitive (golden traces, rekey
+    message layout).  Dicts are fine — insertion order is guaranteed —
+    so the fix is usually ``sorted(...)`` or keeping a dict."""
+
+    rule_id = "determinism-set-order"
+    family = "determinism"
+    citation = "ordering-sensitive protocol output (docs/OBSERVABILITY.md)"
+    description = "iteration over a set in a protocol package"
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if module.package not in PROTOCOL_PACKAGES:
+            return
+        for node in ast.walk(module.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for candidate in iters:
+                if _is_set_expression(candidate):
+                    yield self.violation(
+                        module,
+                        candidate,
+                        "iterating a set yields hash-randomized order on a "
+                        "protocol path; wrap in sorted(...) or keep an "
+                        "insertion-ordered dict",
+                    )

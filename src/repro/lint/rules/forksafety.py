@@ -1,0 +1,162 @@
+"""Fork-safety rules.
+
+:class:`repro.experiments.parallel.ParallelRunner` fans tasks over a
+``fork``-based process pool; results and exceptions cross the boundary
+by pickle.  A lambda or nested function handed to ``.map`` works in the
+serial degradation path and then dies with ``PicklingError`` the first
+time the pool actually forks — the classic "passes on my laptop" bug.
+Classes that live on the boundary should also declare ``__slots__``:
+per-instance dicts cost pickle bytes and memory at the paper's
+1024-member scale (``Span`` already follows this).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import FORK_BOUNDARY_MODULES, FORK_SUBMIT_ATTRS
+from ..modules import ModuleInfo
+from ..violations import WARNING, LintViolation
+from . import Rule
+
+
+def _nested_defs(function: ast.AST) -> set[str]:
+    """Names of functions defined *inside* ``function`` (one level is
+    enough: any nesting makes them unpicklable)."""
+    nested: set[str] = set()
+    for node in ast.walk(function):
+        if node is function:
+            continue
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            nested.add(node.name)
+    return nested
+
+
+class ForkUnpicklableRule(Rule):
+    rule_id = "fork-unpicklable"
+    family = "fork"
+    citation = "ParallelRunner fork boundary (docs/PERFORMANCE.md)"
+    description = (
+        "lambda or nested function submitted to a worker pool .map()"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        scopes: list[ast.AST] = [module.tree]
+        scopes.extend(
+            node
+            for node in ast.walk(module.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            nested = (
+                _nested_defs(scope) if scope is not module.tree else set()
+            )
+            for node in ast.walk(scope):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in FORK_SUBMIT_ATTRS
+                ):
+                    continue
+                candidates = list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]
+                for argument in candidates:
+                    if isinstance(argument, ast.Lambda):
+                        yield self.violation(
+                            module,
+                            argument,
+                            "lambda submitted to a worker-pool map(); "
+                            "lambdas do not pickle across fork — use a "
+                            "module-level callable",
+                        )
+                    elif (
+                        isinstance(argument, ast.Name)
+                        and argument.id in nested
+                    ):
+                        yield self.violation(
+                            module,
+                            argument,
+                            f"nested function `{argument.id}` submitted to "
+                            "a worker-pool map(); closures do not pickle "
+                            "across fork — hoist it to module level",
+                        )
+
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for statement in cls.body:
+        if isinstance(statement, ast.Assign):
+            for target in statement.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(statement, ast.AnnAssign):
+            target = statement.target
+            if isinstance(target, ast.Name) and target.id == "__slots__":
+                return True
+    for decorator in cls.decorator_list:
+        if isinstance(decorator, ast.Call):
+            name = decorator.func
+            dotted = (
+                name.id
+                if isinstance(name, ast.Name)
+                else name.attr
+                if isinstance(name, ast.Attribute)
+                else ""
+            )
+            if dotted == "dataclass":
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "slots"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+    return False
+
+
+def _is_exception_class(cls: ast.ClassDef) -> bool:
+    for base in cls.bases:
+        name = (
+            base.id
+            if isinstance(base, ast.Name)
+            else base.attr
+            if isinstance(base, ast.Attribute)
+            else ""
+        )
+        if name in ("Exception", "BaseException") or name.endswith(
+            ("Error", "Exception", "Warning")
+        ):
+            return True
+    return False
+
+
+class ForkSlotsRule(Rule):
+    rule_id = "fork-slots"
+    family = "fork"
+    severity = WARNING
+    citation = (
+        "fork-boundary payload size (docs/PERFORMANCE.md; Span in "
+        "repro.trace.spans is the template)"
+    )
+    description = (
+        "class in a fork-boundary module without __slots__ "
+        "(exception classes exempt — BaseException carries a dict)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if module.relpath not in FORK_BOUNDARY_MODULES:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if _is_exception_class(node):
+                continue
+            if not _declares_slots(node):
+                yield self.violation(
+                    module,
+                    node,
+                    f"class `{node.name}` crosses (or carries payloads "
+                    "across) the fork boundary without __slots__; declare "
+                    "them (or dataclass(slots=True))",
+                )

@@ -1,0 +1,178 @@
+"""Hook-discipline rules.
+
+The tracing and verification layers hang off single module-level slots
+(``repro.trace.hooks.ACTIVE``, ``repro.verify.hooks.ACTIVE``) so that
+hot paths pay one attribute load per session when observability is off.
+Two source patterns break that contract:
+
+* importing anything other than the ``hooks`` module itself from
+  ``repro.trace`` / ``repro.verify`` at module level — binding ``ACTIVE``
+  or a context class snapshots the slot, and importing checkers/oracle/
+  golden drags protocol code into hot imports (they are lazy by design);
+* calling through the slot without a ``None`` guard — the zero-overhead
+  "off" state *is* ``None``, so an unguarded call crashes the first
+  untraced run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..config import HOT_PACKAGES, SLOT_ATTRIBUTE, SLOT_MODULES
+from ..modules import ModuleInfo, eager_imports
+from ..violations import LintViolation
+from . import Rule
+
+_HOOK_PACKAGES = ("repro.trace", "repro.verify")
+
+
+class HookEagerImportRule(Rule):
+    """Hot-path modules may import exactly the slot modules — as modules
+    (``from ..trace import hooks as _trace_hooks``), never names out of
+    them."""
+
+    rule_id = "hook-eager-import"
+    family = "hooks"
+    citation = (
+        "zero-overhead module-slot hooks (repro.trace.hooks, "
+        "repro.verify.hooks docstrings)"
+    )
+    description = (
+        "eager import from repro.trace/repro.verify other than the hooks "
+        "module itself"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if module.package not in HOT_PACKAGES:
+            return
+        for imported in eager_imports(module):
+            target = imported.target
+            if not target.startswith(_HOOK_PACKAGES):
+                continue
+            if isinstance(imported.node, ast.Import):
+                if target in SLOT_MODULES:
+                    continue  # `import repro.trace.hooks` keeps module access
+            elif target in _HOOK_PACKAGES and all(
+                name == "hooks" for name in imported.names
+            ):
+                continue  # `from ..trace import hooks [as _trace_hooks]`
+            if target in SLOT_MODULES:
+                detail = (
+                    "binds names out of the hooks module; import the module "
+                    "itself so ACTIVE is read through the live slot"
+                )
+            else:
+                detail = (
+                    "drags non-hook trace/verify code into a hot-path "
+                    "import; checkers, oracle, and golden load lazily by "
+                    "design"
+                )
+            yield self.violation(
+                module,
+                imported.node,
+                f"eager import of `{target}` from `{module.module}` {detail}",
+            )
+
+
+def _none_guard_names(function: ast.AST) -> set[str]:
+    """Names the function None-tests anywhere (``x is None`` /
+    ``x is not None`` / ``if x`` / ``if not x`` / ``while x``)."""
+    guarded: set[str] = set()
+    for node in ast.walk(function):
+        if isinstance(node, ast.Compare):
+            operands = [node.left, *node.comparators]
+            has_none = any(
+                isinstance(op, ast.Constant) and op.value is None
+                for op in operands
+            )
+            if has_none and any(
+                isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops
+            ):
+                for operand in operands:
+                    if isinstance(operand, ast.Name):
+                        guarded.add(operand.id)
+        elif isinstance(node, (ast.If, ast.While, ast.IfExp)):
+            test = node.test
+            if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+                test = test.operand
+            if isinstance(test, ast.Name):
+                guarded.add(test.id)
+    return guarded
+
+
+def _functions(tree: ast.Module) -> Iterator[ast.AST]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+class HookUnguardedRule(Rule):
+    """Every read of a hook slot must land in a local that is
+    ``None``-guarded before use; calling straight through
+    ``hooks.ACTIVE.method(...)`` crashes every un-instrumented run."""
+
+    rule_id = "hook-unguarded"
+    family = "hooks"
+    citation = "None is the zero-overhead off state (repro.trace.hooks)"
+    description = "use of a hook slot without a None guard"
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for function in _functions(module.tree):
+            yield from self._check_function(module, function)
+
+    def _check_function(
+        self, module: ModuleInfo, function: ast.AST
+    ) -> Iterator[LintViolation]:
+        slot_vars: set[str] = set()
+        for node in ast.walk(function):
+            if isinstance(node, ast.Assign) and isinstance(
+                node.value, ast.Attribute
+            ):
+                if node.value.attr == SLOT_ATTRIBUTE:
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            slot_vars.add(target.id)
+        guarded = _none_guard_names(function)
+        unguarded = slot_vars - guarded
+        for node in ast.walk(function):
+            # Direct chain: hooks.ACTIVE.method(...) — never guardable.
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Attribute)
+                and node.value.attr == SLOT_ATTRIBUTE
+                and isinstance(node.value.ctx, ast.Load)
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"direct use of `{SLOT_ATTRIBUTE}.{node.attr}` without "
+                    "a None guard; read the slot into a local and test "
+                    "`is not None` first",
+                )
+            # Attribute use (or call) of a slot-assigned local in a
+            # function that never None-tests it.
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in unguarded
+                and isinstance(node.ctx, ast.Load)
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"`{node.value.id}` holds a hook slot read but is "
+                    "never None-guarded in this function; the off state "
+                    "is None",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in unguarded
+            ):
+                yield self.violation(
+                    module,
+                    node,
+                    f"`{node.func.id}` holds a hook slot read but is "
+                    "called without a None guard; the off state is None",
+                )

@@ -1,0 +1,74 @@
+"""API-hygiene rules: mutable default arguments and bare ``except``.
+
+Mutable defaults alias state across calls — in a codebase whose tests
+replay identical scenarios back-to-back, a leaked default list is a
+determinism bug wearing an API-design hat.  Bare ``except`` swallows
+``KeyboardInterrupt``/``SystemExit`` and, worse here, the
+:class:`~repro.verify.report.InvariantViolation` batches the
+verification layer raises through hot paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..modules import ModuleInfo
+from ..violations import LintViolation
+from . import Rule
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultRule(Rule):
+    rule_id = "api-mutable-default"
+    family = "api"
+    citation = "shared-state defaults break replay isolation"
+    description = "mutable default argument"
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                default
+                for default in node.args.kw_defaults
+                if default is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.violation(
+                        module,
+                        default,
+                        f"mutable default argument in `{node.name}()`; "
+                        "default to None and create the container inside",
+                    )
+
+
+class BareExceptRule(Rule):
+    rule_id = "api-bare-except"
+    family = "api"
+    citation = (
+        "bare except swallows InvariantViolation and KeyboardInterrupt"
+    )
+    description = "bare `except:` clause"
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.violation(
+                    module,
+                    node,
+                    "bare `except:`; name the exception type (it would "
+                    "swallow InvariantViolation batches and Ctrl-C alike)",
+                )

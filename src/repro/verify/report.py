@@ -15,11 +15,11 @@ touching protocol code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ViolationReport:
     """One broken invariant, pinned to its paper citation and context.
 

@@ -1,0 +1,8 @@
+"""Canary: bare except (api-bare-except)."""
+
+
+def deliver(node, message):
+    try:
+        node.receive(message)
+    except:
+        return None

@@ -1,0 +1,8 @@
+"""Canary: eager hook-layer imports from a hot path (hook-eager-import)."""
+
+from repro.trace.hooks import TraceContext
+from repro.verify import checkers
+
+
+def build(plan):
+    return TraceContext(), checkers

@@ -1,0 +1,10 @@
+"""Canary: hook-slot use without a None guard (hook-unguarded)."""
+
+from repro.trace import hooks as _trace_hooks
+
+
+def run_session(session, topology):
+    _trace_hooks.ACTIVE.observe_session(session, topology)
+    tctx = _trace_hooks.ACTIVE
+    tctx.count("tmesh.sessions")
+    return session

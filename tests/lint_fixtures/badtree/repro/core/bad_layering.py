@@ -1,0 +1,10 @@
+"""Canary: protocol layer importing orchestration layers (layering-import)."""
+
+from repro.experiments.config import Scale
+from repro.sim.engine import Simulator
+
+from ..distributed import harness
+
+
+def run(scale: Scale) -> Simulator:
+    return harness.DistributedGroup(scale)

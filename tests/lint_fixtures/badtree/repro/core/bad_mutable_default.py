@@ -1,0 +1,12 @@
+"""Canary: mutable default arguments (api-mutable-default)."""
+
+
+def collect(member, acc=[]):
+    acc.append(member)
+    return acc
+
+
+def tally(member, counts={}, seen=set()):
+    counts[member] = counts.get(member, 0) + 1
+    seen.add(member)
+    return counts

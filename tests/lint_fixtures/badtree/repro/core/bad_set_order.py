@@ -1,0 +1,10 @@
+"""Canary: set iteration on a protocol path (determinism-set-order)."""
+
+
+def forward_order(members, leavers):
+    order = []
+    for member in set(members):
+        order.append(member)
+    extras = [m for m in {"a", "b", "c"}]
+    pending = [m for m in set(members) - set(leavers)]
+    return order, extras, pending

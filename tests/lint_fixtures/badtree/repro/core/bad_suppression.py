@@ -1,0 +1,11 @@
+"""Canary: suppression directive without justification (lint-suppress).
+
+The naked directive below must (a) not silence the wall-clock finding
+and (b) itself be reported.
+"""
+
+import time
+
+
+def stamp():
+    return time.time()  # lint: disable=determinism-wall-clock

@@ -1,0 +1,17 @@
+"""Canary: global / unseeded RNGs (determinism-unseeded-rng)."""
+
+import random
+
+import numpy as np
+
+
+def pick_upstream(candidates):
+    random.shuffle(candidates)
+    return random.choice(candidates)
+
+
+def jitter_matrix(n):
+    rng = np.random.default_rng()
+    other = random.Random()
+    np.random.seed(42)
+    return rng.uniform(size=(n, n)), other.random()

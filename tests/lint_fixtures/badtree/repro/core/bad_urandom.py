@@ -1,0 +1,7 @@
+"""Canary: OS entropy outside repro.crypto (determinism-urandom)."""
+
+import os
+
+
+def session_nonce():
+    return os.urandom(16)

@@ -1,0 +1,11 @@
+"""Canary: wall-clock reads in protocol code (determinism-wall-clock)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_session(session):
+    session.started_at = time.time()
+    session.deadline = time.monotonic() + 5.0
+    session.label = datetime.now().isoformat()
+    return session

@@ -1,0 +1,10 @@
+"""Canary: unpicklable payloads at the fork boundary (fork-unpicklable)."""
+
+
+def run_replications(runner, tasks, topology):
+    def worker(task):
+        return task.run(topology)
+
+    first = runner.map(worker, tasks)
+    second = runner.map(lambda task: task.run(topology), tasks)
+    return first, second

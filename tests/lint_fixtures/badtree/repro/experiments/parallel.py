@@ -1,0 +1,10 @@
+"""Canary: fork-boundary class without __slots__ (fork-slots).
+
+The path matters: this fixture shadows ``repro/experiments/parallel.py``
+so the rule's module scoping is exercised.
+"""
+
+
+class ParallelRunner:
+    def __init__(self, processes=None):
+        self.processes = processes

@@ -1,0 +1,35 @@
+"""A protocol module that follows every discipline — must lint clean."""
+
+import random
+
+import numpy as np
+
+from repro.trace import hooks as _trace_hooks
+from repro.verify import hooks as _verify_hooks
+
+
+def pick_upstream(candidates, seed):
+    rng = random.Random(seed)
+    return rng.choice(candidates)
+
+
+def jitter_matrix(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform(size=(n, n))
+
+
+def forward_order(members, leavers):
+    order = []
+    for member in sorted(set(members) - set(leavers)):
+        order.append(member)
+    return order
+
+
+def run_session(session, topology):
+    tctx = _trace_hooks.ACTIVE
+    if tctx is not None:
+        tctx.observe_session(session, topology)
+    ctx = _verify_hooks.ACTIVE
+    if ctx is not None:
+        ctx.observe_session(session, None, {}, topology)
+    return session

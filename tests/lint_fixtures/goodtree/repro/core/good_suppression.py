@@ -1,0 +1,10 @@
+"""A justified suppression: silences the finding, and only that one."""
+
+import time
+
+
+def profile_once(fn):
+    # lint: disable=determinism-wall-clock -- ad-hoc profiling helper; output never feeds a trace or oracle
+    start = time.time()
+    fn()
+    return time.time() - start  # lint: disable=determinism-wall-clock -- same profiling pair as above

@@ -1,0 +1,23 @@
+"""Fork-boundary module done right: slotted classes, module-level worker."""
+
+
+class Task:
+    __slots__ = ("seed",)
+
+    def __init__(self, seed):
+        self.seed = seed
+
+
+class ParallelRunner:
+    __slots__ = ("processes",)
+
+    def __init__(self, processes=None):
+        self.processes = processes
+
+
+def run_one(task):
+    return task.seed
+
+
+def run_all(runner, tasks):
+    return runner.map(run_one, tasks)

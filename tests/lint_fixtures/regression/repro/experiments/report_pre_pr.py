@@ -1,0 +1,17 @@
+"""The pre-PR ``repro.experiments.report`` timing helper, verbatim.
+
+This is the wall-clock leak named in ISSUE 5 (``time.time()`` pair at
+``src/repro/experiments/report.py:63``) before it was routed through an
+injectable ``time.perf_counter`` clock.  The regression test asserts the
+``determinism-wall-clock`` rule would have caught it — i.e. a fresh lint
+run over the pre-PR tree flags exactly these lines.
+"""
+
+import time
+from typing import Callable, Tuple
+
+
+def _timed(fn: Callable, *args, **kwargs) -> Tuple[object, float]:
+    start = time.time()
+    result = fn(*args, **kwargs)
+    return result, time.time() - start

@@ -1,0 +1,40 @@
+"""Off-the-shelf toolchain conformance: ruff and mypy over the tree.
+
+The project's own pass (``repro.lint``) enforces the domain rules; ruff
+and mypy cover the generic ones.  Their configuration lives in
+pyproject.toml so any environment that has them runs the same checks —
+but neither is a baked-in dependency of the reproduction image, so these
+tests skip (rather than fail) where the binaries are absent.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.lint
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+def run_tool(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        argv, cwd=REPO_ROOT, capture_output=True, text=True
+    )
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_clean():
+    result = run_tool("ruff", "check", "src", "tools")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_strict_on_lint_package():
+    # The lint package is the strict-typed exemplar (see pyproject
+    # [tool.mypy] overrides); the rest of the tree is typed best-effort.
+    result = run_tool("mypy", "src/repro/lint")
+    assert result.returncode == 0, result.stdout + result.stderr

@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""Commit-time gate for the project's static-analysis pass.
+
+Usage::
+
+    python tools/lint.py                      # lint src/ against the
+                                              # committed baseline
+    python tools/lint.py --baseline-write     # re-record the baseline
+                                              # (shrinks when findings
+                                              # are fixed)
+    python tools/lint.py --rules determinism  # one family (or rule id)
+    python tools/lint.py --list-rules         # the catalog
+    python tools/lint.py tests/lint_fixtures/badtree --no-baseline
+
+Exit codes: 0 — no new violations (baselined/suppressed findings are
+reported but do not gate); 2 — at least one new violation; 1 — usage or
+internal error.  See docs/STATIC_ANALYSIS.md for the rule catalog,
+suppression policy, and baseline workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.lint import Baseline, LintEngine, all_rules, select_rules  # noqa: E402
+
+DEFAULT_BASELINE = REPO_ROOT / ".lint-baseline.json"
+
+
+def _parse_args(argv: list[str]) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="tools/lint.py", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "roots",
+        nargs="*",
+        type=Path,
+        help="directories containing the top-level package dir "
+        "(default: <repo>/src)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default: {DEFAULT_BASELINE.name})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: every finding is new",
+    )
+    parser.add_argument(
+        "--baseline-write",
+        action="store_true",
+        help="re-record the baseline from the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated rule ids or families to run "
+        "(default: all)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    return parser.parse_args(argv)
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        print(f"{rule.rule_id}  [{rule.family}/{rule.severity}]")
+        print(f"    {rule.description}")
+        print(f"    enforces: {rule.citation}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parse_args(sys.argv[1:] if argv is None else argv)
+    if args.list_rules:
+        return _list_rules()
+
+    roots = args.roots or [REPO_ROOT / "src"]
+    for root in roots:
+        if not root.is_dir():
+            print(f"error: not a directory: {root}", file=sys.stderr)
+            return 1
+    try:
+        rules = select_rules(args.rules.split(",")) if args.rules else None
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    engine = LintEngine(roots, rules=rules)
+    baseline = (
+        Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    )
+    result = engine.run(baseline)
+
+    if args.baseline_write:
+        Baseline.from_violations(result.violations).save(args.baseline)
+        print(
+            f"baseline written: {args.baseline} "
+            f"({len(result.violations)} finding(s) recorded)"
+        )
+        return 0
+
+    if args.json:
+        payload = {
+            "summary": result.summary(),
+            "new": [dataclasses.asdict(v) for v in result.new],
+            "baselined": [dataclasses.asdict(v) for v in result.baselined],
+            "suppressed": [dataclasses.asdict(v) for v in result.suppressed],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        for violation in result.new:
+            print(violation.render())
+        if result.baselined:
+            print(f"({len(result.baselined)} baselined finding(s) not shown; "
+                  "run --baseline-write after fixing to shrink the baseline)")
+        print(result.summary())
+    return 2 if result.new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
