@@ -48,9 +48,13 @@ from ..core.ids import Id, NULL_ID
 from ..core.neighbor_table import NeighborTable, UserRecord
 from ..faults.plan import FaultPlan
 from ..metrics.faults import RepairStats
+from ..net.scheduling import (
+    SchedulingBackend,
+    Transport,
+    TransportNode,
+    create_backend,
+)
 from ..net.topology import Topology
-from ..sim.engine import Simulator
-from ..sim.node import Network, Node
 from ..trace import hooks as _trace_hooks
 
 
@@ -126,20 +130,26 @@ class _RepairState:
     event: Optional[object] = None  # pending sim Event, if any
 
 
-class ReliableTmeshNode(Node):
+class ReliableTmeshNode(TransportNode):
     """A member (or the key server) speaking the reliable T-mesh
     protocol.  ``table`` is its neighbor table — one row for the key
-    server, ``D`` rows for a user (Section 2.2)."""
+    server, ``D`` rows for a user (Section 2.2).
+
+    The node depends only on the scheduling seam: any
+    :class:`~repro.net.scheduling.Transport` (and the
+    :class:`~repro.net.scheduling.Scheduler` behind it) can carry the
+    protocol — the discrete event simulator and the standalone event
+    loop are interchangeable backends."""
 
     def __init__(
         self,
-        network: Network,
+        transport: Transport,
         record: UserRecord,
         table: NeighborTable,
         config: Optional[ReliabilityConfig] = None,
         down_check=None,
     ):
-        super().__init__(network, record.host)
+        super().__init__(transport, record.host)
         self.record = record
         self.table = table
         self.config = config if config is not None else ReliabilityConfig()
@@ -195,7 +205,7 @@ class ReliableTmeshNode(Node):
         last = self._next_seq - 1
         if self.config.repair_enabled:
             for rnd in range(self.config.heartbeat_rounds):
-                self.network.simulator.schedule(
+                self.scheduler.schedule(
                     (rnd + 1) * self.config.heartbeat_interval,
                     lambda rnd=rnd, last=last: self._emit_heartbeat(rnd, last),
                 )
@@ -402,7 +412,7 @@ class ReliableTmeshNode(Node):
                     attempt=state.attempts,
                     missing=len(state.missing),
                     target=target_kind,
-                    time_ms=self.network.simulator.now,
+                    time_ms=self.scheduler.now,
                 )
                 tctx.registry.inc("reliable.nack_rounds")
             self.send(
@@ -414,7 +424,7 @@ class ReliableTmeshNode(Node):
             )
             self._schedule_nack(source, source_host, retry)
 
-        state.event = self.network.simulator.schedule(delay, fire)
+        state.event = self.scheduler.schedule(delay, fire)
 
 
 # ----------------------------------------------------------------------
@@ -464,13 +474,18 @@ class ReliableOutcome:
 
 
 class ReliableSession:
-    """Build a live network of :class:`ReliableTmeshNode` from a static
+    """Build a live mesh of :class:`ReliableTmeshNode` from a static
     table configuration and run reliable multicasts through a fault plan.
 
     ``tables`` maps every member ID to its neighbor table (as built by
     :func:`repro.core.neighbor_table.build_consistent_tables`);
     ``server_table`` is the key server's one-row table for rekey
-    transport.  The session owns its simulator and network.
+    transport.  The session owns its scheduling backend — ``backend``
+    names one (``"simulator"`` is the discrete event simulator,
+    ``"eventloop"`` the standalone virtual-clock loop; see
+    :mod:`repro.net.scheduling`) or passes a pre-assembled
+    :class:`~repro.net.scheduling.SchedulingBackend`.  Outcomes and
+    traces are byte-identical across conforming backends.
     """
 
     def __init__(
@@ -480,25 +495,39 @@ class ReliableSession:
         topology: Topology,
         plan: Optional[FaultPlan] = None,
         config: Optional[ReliabilityConfig] = None,
+        backend: "str | SchedulingBackend" = "simulator",
     ):
         self.config = config if config is not None else ReliabilityConfig()
         self.plan = plan
-        self.simulator = Simulator()
-        self.network = Network(self.simulator, topology)
-        self.network.install_faults(plan)
+        if isinstance(backend, str):
+            backend = create_backend(backend, topology)
+        self.backend = backend
+        self.scheduler = backend.scheduler
+        self.transport = backend.transport
+        self.transport.install_faults(plan)
         down_check = None
         if plan is not None and self.config.use_backups:
             # the liveness oracle backing Section-2.3 backup routing
-            down_check = lambda host: plan.is_down(host, self.simulator.now)
+            down_check = lambda host: plan.is_down(host, self.scheduler.now)
         self.nodes: Dict[Id, ReliableTmeshNode] = {
             uid: ReliableTmeshNode(
-                self.network, table.owner, table, self.config, down_check
+                self.transport, table.owner, table, self.config, down_check
             )
             for uid, table in tables.items()
         }
         self.server = ReliableTmeshNode(
-            self.network, server_table.owner, server_table, self.config, down_check
+            self.transport, server_table.owner, server_table, self.config, down_check
         )
+
+    @property
+    def simulator(self):
+        """Backward-compatible alias for the session's scheduler."""
+        return self.scheduler
+
+    @property
+    def network(self) -> Transport:
+        """Backward-compatible alias for the session's transport."""
+        return self.transport
 
     def multicast(
         self,
@@ -513,7 +542,7 @@ class ReliableSession:
         tctx = _trace_hooks.ACTIVE
         if tctx is None:
             source_node.send_stream(list(payloads))
-            self.simulator.run(until=until, max_events=max_events)
+            self.scheduler.run(until=until, max_events=max_events)
             return self.collect(source_node.source_id, list(payloads))
         with tctx.span(
             "reliable.multicast",
@@ -523,7 +552,7 @@ class ReliableSession:
             lossy=self.plan is not None,
         ) as span:
             source_node.send_stream(list(payloads))
-            self.simulator.run(until=until, max_events=max_events)
+            self.scheduler.run(until=until, max_events=max_events)
             outcome = self.collect(source_node.source_id, list(payloads))
             span.set(
                 delivery_ratio=round(outcome.delivery_ratio, 6),

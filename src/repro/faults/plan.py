@@ -21,10 +21,12 @@ runs export byte-identical metrics.  Decisions are drawn from a single
 ``numpy`` generator in send order; :meth:`FaultPlan.reset` rewinds the
 plan for an identical re-run.
 
-The plan plugs into :class:`repro.sim.node.Network` via
-``network.install_faults(plan)``; the network consults
+The plan plugs into the transport seam — :class:`repro.net.scheduling.
+Transport` (and therefore its :class:`repro.sim.node.Network` adapter)
+via ``transport.install_faults(plan)``: the transport consults
 :meth:`FaultPlan.apply` on every send and :meth:`FaultPlan.is_down` at
-every delivery.  Pure-function session runners (e.g.
+every delivery, so faults behave identically under every scheduling
+backend.  Pure-function session runners (e.g.
 :class:`repro.alm.reliable.ReliableSession`) use the same object.
 """
 

@@ -93,8 +93,12 @@ ENTROPY_PACKAGES = frozenset({"crypto"})
 #: Packages whose outputs are ordering-sensitive (protocol paths feeding
 #: golden traces and the differential oracle): iterating a *set* there is
 #: nondeterministic across processes (hash randomization), unlike dicts,
-#: whose insertion order is guaranteed.
-PROTOCOL_PACKAGES = frozenset({"core", "keytree", "alm", "sim", "distributed"})
+#: whose insertion order is guaranteed.  ``net`` joined when the
+#: scheduling seam (``repro.net.scheduling`` / ``repro.net.eventloop``)
+#: moved message delivery onto protocol paths.
+PROTOCOL_PACKAGES = frozenset(
+    {"core", "keytree", "alm", "sim", "distributed", "net"}
+)
 
 # ----------------------------------------------------------------------
 # Hook discipline (zero-overhead module slots — repro.trace.hooks,

@@ -1,11 +1,25 @@
-"""Network substrates: topology interface, routing, and the two topology
-families the paper evaluates on (GT-ITM transit-stub and PlanetLab)."""
+"""Network substrates: topology interface, routing, the two topology
+families the paper evaluates on (GT-ITM transit-stub and PlanetLab), and
+the scheduling seam (:mod:`repro.net.scheduling`) with its standalone
+event-loop backend (:mod:`repro.net.eventloop`)."""
 
 from .topology import Topology, validate_rtt_matrix
 from .routing import RouterGraph, LinkStressCounter
 from .gtitm import TransitStubTopology, TransitStubParams
 from .planetlab import PlanetLabTopology, MatrixTopology, PAPER_NUM_HOSTS
 from .gnp import GnpEstimatedTopology, GnpModel, fit_gnp
+from .scheduling import (
+    MessageStats,
+    ScheduledEvent,
+    Scheduler,
+    SchedulingBackend,
+    Transport,
+    TransportNode,
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from .eventloop import EventLoop, TimerHandle, eventloop_backend
 
 __all__ = [
     "GnpEstimatedTopology",
@@ -20,4 +34,16 @@ __all__ = [
     "PlanetLabTopology",
     "MatrixTopology",
     "PAPER_NUM_HOSTS",
+    "MessageStats",
+    "ScheduledEvent",
+    "Scheduler",
+    "SchedulingBackend",
+    "Transport",
+    "TransportNode",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+    "EventLoop",
+    "TimerHandle",
+    "eventloop_backend",
 ]

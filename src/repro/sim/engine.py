@@ -7,6 +7,12 @@ deterministic FIFO tie-breaking, plus message-passing helpers in
 :mod:`repro.sim.node`.  The experiment drivers use it to run concurrent
 joins and multicast sessions; the quickstart examples use it to run the
 secure-group application end to end.
+
+The engine is one implementation of the :class:`repro.net.scheduling.
+Scheduler` protocol (exposed as the ``"simulator"`` backend by
+:mod:`repro.sim.adapter`); :mod:`repro.net.eventloop` is the other, and
+the cross-backend conformance suite holds both to the same observable
+semantics.
 """
 
 from __future__ import annotations

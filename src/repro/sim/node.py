@@ -5,6 +5,12 @@ A :class:`Network` binds a :class:`~repro.sim.engine.Simulator` to a
 exchange messages that arrive after the topology's one-way delay.  This is
 the substrate the secure-group application examples run on.
 
+The delivery logic itself lives in :class:`repro.net.scheduling.
+Transport` — the scheduling seam both backends share — and
+:class:`Network` is the simulator-flavoured adapter over it (see
+:mod:`repro.sim.adapter`): it adds nothing but the ``simulator``
+attribute name the orchestration layers address the engine by.
+
 Faults: a :class:`~repro.faults.FaultPlan` installed with
 :meth:`Network.install_faults` intercepts every send — it may drop the
 message, add latency (delay/reorder), or deliver extra copies — and
@@ -14,104 +20,25 @@ The legacy ``drop_filter`` hook is kept for ad-hoc tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, Optional, TYPE_CHECKING
-
+from ..net.scheduling import MessageStats, Transport, TransportNode
 from ..net.topology import Topology
 from .engine import Simulator
 
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
-    from ..faults.plan import FaultPlan
+__all__ = ["MessageStats", "Network", "Node"]
 
 
-@dataclass
-class MessageStats:
-    """Counters a network keeps about traffic (useful in examples and
-    failure-injection tests)."""
-
-    sent: int = 0
-    delivered: int = 0
-    dropped: int = 0
-
-
-class Network:
+class Network(Transport):
     """Hosts exchanging messages over a topology with simulated delay."""
 
     def __init__(self, simulator: Simulator, topology: Topology):
+        super().__init__(simulator, topology)
         self.simulator = simulator
-        self.topology = topology
-        self._nodes: Dict[int, "Node"] = {}
-        self.stats = MessageStats()
-        #: Optional fault hook: return True to drop a message.
-        self.drop_filter: Optional[Callable[[int, int, Any], bool]] = None
-        #: Optional declarative fault schedule (see :mod:`repro.faults`).
-        self.fault_plan: Optional["FaultPlan"] = None
-
-    def install_faults(self, plan: Optional["FaultPlan"]) -> None:
-        """Attach (or, with ``None``, remove) a fault plan; every
-        subsequent send is filtered through it."""
-        self.fault_plan = plan
-
-    def attach(self, node: "Node") -> None:
-        if node.host in self._nodes:
-            raise ValueError(f"host {node.host} already attached")
-        self._nodes[node.host] = node
-
-    def detach(self, host: int) -> None:
-        self._nodes.pop(host, None)
-
-    def node_at(self, host: int) -> Optional["Node"]:
-        return self._nodes.get(host)
-
-    def send(self, src: int, dst: int, payload: Any) -> None:
-        """Queue a message; it arrives after the topology one-way delay
-        unless the destination detached, the drop filter eats it, or the
-        fault plan drops it.  The fault plan may also deliver the message
-        late (delay/reorder) or more than once (duplication)."""
-        self.stats.sent += 1
-        if self.drop_filter is not None and self.drop_filter(src, dst, payload):
-            self.stats.dropped += 1
-            return
-        plan = self.fault_plan
-        if plan is None:
-            extra_delays = (0.0,)
-        else:
-            extra_delays = plan.apply(src, dst, payload, self.simulator.now)
-            if not extra_delays:
-                self.stats.dropped += 1
-                return
-        delay = self.topology.one_way_delay(src, dst)
-
-        def deliver() -> None:
-            if plan is not None and plan.is_down(dst, self.simulator.now):
-                plan.stats.crash_drops += 1
-                self.stats.dropped += 1
-                return
-            node = self._nodes.get(dst)
-            if node is None:
-                self.stats.dropped += 1
-                return
-            self.stats.delivered += 1
-            node.on_message(src, payload)
-
-        for extra in extra_delays:
-            self.simulator.schedule(delay + extra, deliver)
 
 
-class Node:
+class Node(TransportNode):
     """A host attached to a network; subclass and override
     :meth:`on_message`."""
 
     def __init__(self, network: Network, host: int):
+        super().__init__(network, host)
         self.network = network
-        self.host = host
-        network.attach(self)
-
-    def send(self, dst: int, payload: Any) -> None:
-        self.network.send(self.host, dst, payload)
-
-    def on_message(self, src: int, payload: Any) -> None:  # pragma: no cover
-        raise NotImplementedError
-
-    def detach(self) -> None:
-        self.network.detach(self.host)

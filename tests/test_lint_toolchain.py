@@ -9,8 +9,11 @@ tests skip (rather than fail) where the binaries are absent.
 
 from __future__ import annotations
 
+import json
 import shutil
 import subprocess
+import sys
+import textwrap
 from pathlib import Path
 
 import pytest
@@ -38,3 +41,54 @@ def test_mypy_strict_on_lint_package():
     # [tool.mypy] overrides); the rest of the tree is typed best-effort.
     result = run_tool("mypy", "src/repro/lint")
     assert result.returncode == 0, result.stdout + result.stderr
+
+
+# ----------------------------------------------------------------------
+# The project's own gate: an empty baseline is a regression test.  The
+# last grandfathered findings (the pre-seam sim imports in alm) were
+# fixed by the scheduling-seam refactor, and the baseline must never
+# regrow — a new finding is a new finding, not debt.  These two also run
+# in the tier-1 conformance lane so every push exercises them.
+# ----------------------------------------------------------------------
+@pytest.mark.conformance
+def test_lint_baseline_is_empty():
+    baseline = json.loads((REPO_ROOT / ".lint-baseline.json").read_text())
+    assert baseline["entries"] == [], (
+        "the lint baseline regrew — fix the finding instead of baselining it"
+    )
+
+
+@pytest.mark.conformance
+def test_lint_gate_is_clean():
+    result = run_tool(sys.executable, "tools/lint.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+@pytest.mark.conformance
+def test_layering_regression_exits_two(tmp_path):
+    """If a protocol layer ever imports the simulator again, the gate
+    must exit 2 (new finding), not quietly baseline it."""
+    pkg = tmp_path / "repro"
+    (pkg / "alm").mkdir(parents=True)
+    (pkg / "__init__.py").write_text("")
+    (pkg / "alm" / "__init__.py").write_text("")
+    (pkg / "alm" / "bad.py").write_text(
+        textwrap.dedent(
+            """
+            from repro.sim.engine import Simulator
+
+            def clock():
+                return Simulator().now
+            """
+        )
+    )
+    result = run_tool(
+        sys.executable,
+        "tools/lint.py",
+        str(tmp_path),
+        "--no-baseline",
+        "--rules",
+        "layering",
+    )
+    assert result.returncode == 2, result.stdout + result.stderr
+    assert "layering-import" in result.stdout
