@@ -1,0 +1,102 @@
+"""Bit-packed ID/prefix arrays for the vectorized kernels.
+
+An :class:`~repro.core.ids.Id` of up to 8 digits with base <= 256 packs
+into one ``uint64``: digit ``k`` occupies bits ``56 - 8k .. 63 - 8k``
+(left-aligned, 8 bits per digit), with unused low bits zero.  Two
+properties make this the right shape for the paper's prefix algebra:
+
+* **Prefix test as a masked XOR.**  ``a`` and ``b`` agree on their first
+  ``l`` digits iff ``(a ^ b) & MASKS[l] == 0``, where ``MASKS[l]`` keeps
+  the top ``8*l`` bits.  The Theorem-2 predicate and k-node marking both
+  reduce to this one vectorizable comparison plus length bookkeeping.
+* **Order preservation.**  For IDs of *equal length*, unsigned code
+  order equals lexicographic digit order — so sorting packed codes
+  reproduces the reference's ``sorted(..., key=lambda n: n.digits)``
+  within a length class.
+
+The paper's own scheme (D=5, B=256) fits with room to spare; schemes
+outside ``D <= 8, B <= 256`` simply aren't packable and callers must
+fall back to the reference loops (:func:`scheme_packable`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ids import Id, IdScheme
+
+#: Max digits per packed ID (8 bits each in a uint64).
+MAX_PACK_DIGITS = 8
+
+#: ``MASKS[l]`` keeps the top ``l`` digit lanes (bits ``64-8l .. 63``).
+#: ``MASKS[0] == 0``: the null prefix matches everything.
+MASKS = np.zeros(MAX_PACK_DIGITS + 1, dtype=np.uint64)
+for _l in range(1, MAX_PACK_DIGITS + 1):
+    MASKS[_l] = np.uint64(((1 << (8 * _l)) - 1) << (64 - 8 * _l))
+del _l
+
+
+def scheme_packable(scheme: IdScheme) -> bool:
+    """Can every ID of this scheme pack into one uint64?"""
+    return scheme.num_digits <= MAX_PACK_DIGITS and scheme.base <= 256
+
+
+def pack_digits(digits: Sequence[int]) -> int:
+    """Pack a digit tuple into its left-aligned uint64 code (as a Python
+    int).  Caller guarantees ``len(digits) <= 8`` and digits ``< 256``."""
+    code = 0
+    shift = 56
+    for d in digits:
+        code |= d << shift
+        shift -= 8
+    return code
+
+
+def pack_id(node_id: Id) -> Optional[Tuple[int, int]]:
+    """``(code, length)`` for an ID, or ``None`` when it doesn't fit.
+
+    The code is cached on the ``Id`` instance (ids are interned across
+    the hot paths, so each distinct ID packs once per process).
+    """
+    cached = getattr(node_id, "_packed", None)
+    if cached is not None:
+        return cached if cached != () else None
+    digits = node_id.digits
+    if len(digits) > MAX_PACK_DIGITS or any(d > 255 for d in digits):
+        object.__setattr__(node_id, "_packed", ())  # negative-result marker
+        return None
+    packed = (pack_digits(digits), len(digits))
+    object.__setattr__(node_id, "_packed", packed)
+    return packed
+
+
+def pack_ids(ids: Sequence[Id]) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Column arrays ``(codes uint64, lengths int64)`` for a batch of
+    IDs, or ``None`` if any member doesn't pack."""
+    n = len(ids)
+    codes = np.empty(n, dtype=np.uint64)
+    lens = np.empty(n, dtype=np.int64)
+    for k, node_id in enumerate(ids):
+        packed = pack_id(node_id)
+        if packed is None:
+            return None
+        codes[k] = packed[0]
+        lens[k] = packed[1]
+    return codes, lens
+
+
+def prefix_compatible_matrix(
+    a_codes: np.ndarray,
+    a_lens: np.ndarray,
+    b_codes: np.ndarray,
+    b_lens: np.ndarray,
+) -> np.ndarray:
+    """Boolean matrix ``M[i, j]``: is ``a_i`` a prefix of ``b_j`` or
+    ``b_j`` a prefix of ``a_i``?  (The symmetric prefix relation of
+    Theorem 2: equivalent to agreeing on the first ``min(len_a, len_b)``
+    digits.)"""
+    min_len = np.minimum(a_lens[:, None], b_lens[None, :])
+    mask = MASKS[min_len]
+    return ((a_codes[:, None] ^ b_codes[None, :]) & mask) == 0

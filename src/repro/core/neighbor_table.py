@@ -67,10 +67,19 @@ class _Entry:
 class NeighborTable:
     """A user's (or the key server's) neighbor table.
 
+    ``_mutation_epoch`` is a class-wide counter bumped by every mutating
+    operation on *any* table.  Cross-table caches (the compiled fan-out
+    structures of :mod:`repro.compute.numpy_backend`) record the epoch
+    they were built at and recompile when it moves — a coarse but exact
+    invalidation: any table mutation anywhere invalidates every compiled
+    structure, and an unchanged epoch guarantees no table changed.
+
     The key server's table is modelled as a table whose owner ID is the
     null string: only row 0 is populated and no entry is skipped as "own
     digit" (the server has no digits).
     """
+
+    _mutation_epoch = 0  # class-wide; see the docstring
 
     def __init__(self, scheme: IdScheme, owner: UserRecord, k: int):
         if k < 1:
@@ -198,6 +207,7 @@ class NeighborTable:
         e.ids.add(record.user_id)
         self._records_cache = None
         self._primaries_cache.clear()
+        NeighborTable._mutation_epoch += 1
         if len(e.neighbors) > self.k:
             dropped = e.neighbors.pop()
             e.ids.discard(dropped[1].user_id)
@@ -241,6 +251,7 @@ class NeighborTable:
                 del neighbors[k:]
         self._records_cache = None
         self._primaries_cache.clear()
+        NeighborTable._mutation_epoch += 1
 
     def remove(self, user_id: Id) -> bool:
         """Delete a user's record wherever it appears (leave / failure).
@@ -259,6 +270,7 @@ class NeighborTable:
         if removed:
             self._records_cache = None
             self._primaries_cache.clear()
+            NeighborTable._mutation_epoch += 1
         return removed
 
     def underfilled_slots(self, subtree_sizes: Callable[[int, int], int]) -> List[Tuple[int, int]]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
+from ..compute import resolve_backend
 from ..keytree.keys import Encryption, RekeyMessage
 from ..net.routing import LinkStressCounter
 from ..net.topology import Topology
@@ -77,6 +78,7 @@ def run_split_rekey(
     session: SessionResult,
     message: RekeyMessage,
     track_sets: bool = False,
+    compute=None,
 ) -> SplitSessionResult:
     """Apply the splitting scheme along a finished T-mesh session.
 
@@ -86,31 +88,14 @@ def run_split_rekey(
     routine REKEY-MESSAGE-SPLIT does at each forwarder.  With
     ``track_sets=True`` the per-member received sets are retained so tests
     can verify Corollary 1 encryption by encryption.
+
+    The work runs on a :mod:`repro.compute` backend (``compute`` is a
+    backend name, instance, or ``None`` for the process default); the
+    reference semantics live in
+    :meth:`repro.compute.reference.ReferenceBackend.split_rekey` and
+    every backend matches them exactly.
     """
-    result = SplitSessionResult()
-    holdings: Dict[Id, Tuple[Encryption, ...]] = {
-        session.sender: tuple(message.encryptions)
-    }
-    result.forwarded[session.sender] = 0
-    for member in session.receipts:
-        result.forwarded.setdefault(member, 0)
-    # Hops sorted by send time give a causally consistent processing order.
-    for edge in sorted(session.edges, key=lambda e: (e.send_time, e.arrival_time)):
-        have = holdings.get(edge.src)
-        if have is None:
-            # A duplicate-delivery artifact: the src never got a first copy
-            # before "sending".  Cannot happen with consistent tables.
-            have = ()
-        carried = split_for_next_hop(have, edge.dst, edge.send_level)
-        result.edge_loads.append((edge, len(carried)))
-        result.forwarded[edge.src] = result.forwarded.get(edge.src, 0) + len(carried)
-        receipt = session.receipts.get(edge.dst)
-        if receipt is not None and receipt.upstream == edge.src:
-            holdings[edge.dst] = carried
-            result.received[edge.dst] = len(carried)
-            if track_sets:
-                result.received_sets[edge.dst] = set(carried)
-    return result
+    return resolve_backend(compute).split_rekey(session, message, track_sets)
 
 
 def run_packet_split_rekey(

@@ -32,9 +32,9 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, List, NamedTuple, Optional, Tuple, TYPE_CHECKING
+from typing import Callable, Dict, List, NamedTuple, Optional, Tuple, TYPE_CHECKING
 
+from ..compute import resolve_backend
 from ..net.topology import Topology
 from ..trace import hooks as _trace_hooks
 from ..verify import hooks as _verify_hooks
@@ -78,7 +78,6 @@ class Receipt(NamedTuple):
     upstream: Id
 
 
-@dataclass
 class SessionResult:
     """Everything observed during one multicast session.
 
@@ -88,17 +87,125 @@ class SessionResult:
     O(members x edges) a per-member scan would cost.  The index is
     rebuilt transparently if ``edges`` grows after a lookup (repair
     layers append edges to finished sessions).
+
+    A result may be *deferred* (:meth:`deferred`): accelerated compute
+    backends keep a session as arrays and build the Python
+    receipt/edge/duplicate objects only on first access, so pipelines
+    that only feed the session onward (or read a handful of metrics)
+    never pay for objects they don't look at.  Materialization is
+    transparent — every accessor behaves as if the session were built
+    eagerly — and happens at most once.
     """
 
-    sender: Id
-    sender_host: int
-    receipts: Dict[Id, Receipt] = field(default_factory=dict)
-    edges: List[OverlayEdge] = field(default_factory=list)
-    duplicate_copies: Dict[Id, int] = field(default_factory=dict)
-    _src_index: Optional[Dict[Id, List[OverlayEdge]]] = field(
-        default=None, repr=False, compare=False
+    __slots__ = (
+        "sender",
+        "sender_host",
+        "_receipts",
+        "_edges",
+        "_duplicates",
+        "_build",
+        "_src_index",
+        "_src_index_size",
+        "_split_prep",
     )
-    _src_index_size: int = field(default=-1, repr=False, compare=False)
+
+    def __init__(
+        self,
+        sender: Id,
+        sender_host: int,
+        receipts: Optional[Dict[Id, Receipt]] = None,
+        edges: Optional[List[OverlayEdge]] = None,
+        duplicate_copies: Optional[Dict[Id, int]] = None,
+    ):
+        self.sender = sender
+        self.sender_host = sender_host
+        self._receipts = {} if receipts is None else receipts
+        self._edges = [] if edges is None else edges
+        self._duplicates = {} if duplicate_copies is None else duplicate_copies
+        self._build: Optional[Callable[[], Tuple]] = None
+        self._src_index: Optional[Dict[Id, List[OverlayEdge]]] = None
+        self._src_index_size = -1
+        self._split_prep = None  # cache slot for repro.compute split kernels
+
+    @classmethod
+    def deferred(
+        cls, sender: Id, sender_host: int, build: Callable[[], Tuple]
+    ) -> "SessionResult":
+        """A session whose ``build()`` -> ``(receipts, edges,
+        duplicate_copies)`` runs on first payload access."""
+        result = cls(sender, sender_host)
+        result._build = build
+        return result
+
+    def _materialize(self) -> None:
+        build = self._build
+        self._build = None
+        self._receipts, self._edges, self._duplicates = build()
+
+    @property
+    def receipts(self) -> Dict[Id, Receipt]:
+        if self._build is not None:
+            self._materialize()
+        return self._receipts
+
+    @property
+    def edges(self) -> List[OverlayEdge]:
+        if self._build is not None:
+            self._materialize()
+        return self._edges
+
+    @property
+    def duplicate_copies(self) -> Dict[Id, int]:
+        if self._build is not None:
+            self._materialize()
+        return self._duplicates
+
+    # Same equality the former dataclass had: payload fields compare,
+    # caches don't, unhashable.
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, SessionResult):
+            return NotImplemented
+        return (
+            self.sender == other.sender
+            and self.sender_host == other.sender_host
+            and self.receipts == other.receipts
+            and self.edges == other.edges
+            and self.duplicate_copies == other.duplicate_copies
+        )
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (
+            f"SessionResult(sender={self.sender!r}, "
+            f"sender_host={self.sender_host!r}, receipts={self.receipts!r}, "
+            f"edges={self.edges!r}, "
+            f"duplicate_copies={self.duplicate_copies!r})"
+        )
+
+    # Deferred builders close over backend arrays and are not picklable;
+    # a session crossing a process boundary ships materialized.
+    def __getstate__(self):
+        return (
+            self.sender,
+            self.sender_host,
+            self.receipts,
+            self.edges,
+            self.duplicate_copies,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.sender,
+            self.sender_host,
+            self._receipts,
+            self._edges,
+            self._duplicates,
+        ) = state
+        self._build = None
+        self._src_index = None
+        self._src_index_size = -1
+        self._split_prep = None
 
     def _edges_by_src(self) -> Dict[Id, List[OverlayEdge]]:
         index = self._src_index
@@ -175,6 +282,7 @@ def run_multicast(
     failed_hosts: Optional[set] = None,
     use_backups: bool = False,
     fault_plan: Optional["FaultPlan"] = None,
+    compute=None,
 ) -> SessionResult:
     """Run one T-mesh multicast session and record its delivery tree.
 
@@ -196,7 +304,32 @@ def run_multicast(
     duplication enqueues extra copies (surfacing as
     ``duplicate_copies``).  This is the *unrepaired* transport; layer
     :class:`repro.alm.reliable.ReliableSession` on top for NACK repair.
+
+    ``compute`` selects the :mod:`repro.compute` backend used for the
+    fault-free case (a name, an instance, or ``None`` for the process
+    default); backup recovery and fault injection always run the general
+    event loop below.
     """
+    if not use_backups and fault_plan is None:
+        # The pure FORWARD fan-out (with at most lost subtrees) is the
+        # compute seam's job; backends are bitwise-equivalent here.
+        result = resolve_backend(compute).fanout_session(
+            sender_table, tables, topology, processing_delay, failed_hosts
+        )
+        ctx = _verify_hooks.ACTIVE
+        if ctx is not None:
+            ctx.observe_session(
+                result,
+                sender_table,
+                tables,
+                topology,
+                processing_delay,
+                lossless=not failed_hosts,
+            )
+        tctx = _trace_hooks.ACTIVE
+        if tctx is not None:
+            tctx.observe_session(result, topology)
+        return result
     sender = sender_table.owner
     result = SessionResult(sender=sender.user_id, sender_host=sender.host)
     counter = itertools.count()  # tie-breaker for the heap
@@ -220,13 +353,6 @@ def run_multicast(
             return entry[0]
         return next((r for r in entry if r.host not in failed), None)
 
-    # The fault-free, dense-delay case (every figure experiment) takes a
-    # tight loop with the per-hop branches hoisted out; the general loop
-    # below handles failures, backups, and fault injection.
-    fast_path = (
-        ow_rows is not None and not use_backups and fault_plan is None
-    )
-
     def forward(member: UserRecord, table: NeighborTable, level: int, now: float) -> None:
         """The FORWARD routine of Fig. 2 for one member."""
         num_digits = table.scheme.num_digits
@@ -238,31 +364,6 @@ def run_multicast(
             rows = range(level, num_digits)
         member_id = member.user_id
         member_host = member.host
-        if fast_path:
-            delays = ow_rows[member_host]
-            base = now + processing_delay
-            row_primaries = table.row_primaries
-            for i in rows:
-                level_up = i + 1
-                for j, nbr in row_primaries(i):
-                    nbr_host = nbr.host
-                    base_arrival = base + delays[nbr_host]
-                    edges_append(
-                        OverlayEdge(
-                            member_id,
-                            nbr.user_id,
-                            member_host,
-                            nbr_host,
-                            i,
-                            now,
-                            base_arrival,
-                        )
-                    )
-                    heappush(
-                        queue,
-                        (base_arrival, next_seq(), nbr, level_up, member_id),
-                    )
-            return
         delays = ow_rows[member_host] if ow_rows is not None else None
         for i in rows:
             for j, primary in table.row_primaries(i):
@@ -315,67 +416,6 @@ def run_multicast(
     sender_id = sender.user_id
     tables_get = tables.get
     heappop = heapq.heappop
-    if fast_path:
-        # Inlined drain loop for the fault-free dense case: same events in
-        # the same order, minus the per-pop closure call, the sender
-        # equality test (a sentinel receipt catches copies sent back to
-        # the sender), and the leaf-level forward calls.
-        num_digits = sender_table.scheme.num_digits
-        receipts[sender_id] = None  # sentinel; removed below
-        while queue:
-            arrival, _, record, level, upstream = heappop(queue)
-            member_id = record.user_id
-            if failed and record.host in failed:
-                continue
-            if member_id in receipts:
-                duplicates[member_id] = duplicates.get(member_id, 0) + 1
-                continue
-            member_host = record.host
-            receipts[member_id] = Receipt(
-                member_id, member_host, arrival, level, upstream
-            )
-            if level >= num_digits:
-                continue
-            table = tables_get(member_id)
-            if table is None:
-                continue
-            delays = ow_rows[member_host]
-            base = arrival + processing_delay
-            for i in range(level, num_digits):
-                level_up = i + 1
-                for j, nbr in table.row_primaries(i):
-                    nbr_host = nbr.host
-                    base_arrival = base + delays[nbr_host]
-                    edges_append(
-                        OverlayEdge(
-                            member_id,
-                            nbr.user_id,
-                            member_host,
-                            nbr_host,
-                            i,
-                            arrival,
-                            base_arrival,
-                        )
-                    )
-                    heappush(
-                        queue,
-                        (base_arrival, next_seq(), nbr, level_up, member_id),
-                    )
-        del receipts[sender_id]
-        ctx = _verify_hooks.ACTIVE
-        if ctx is not None:
-            ctx.observe_session(
-                result,
-                sender_table,
-                tables,
-                topology,
-                processing_delay,
-                lossless=not failed,
-            )
-        tctx = _trace_hooks.ACTIVE
-        if tctx is not None:
-            tctx.observe_session(result, topology)
-        return result
     while queue:
         arrival, _, record, level, upstream = heappop(queue)
         member_id = record.user_id
@@ -462,9 +502,21 @@ class SessionPlan:
             memo[level] = sched
         return sched
 
-    def run(self, topology: Topology, processing_delay: float = 0.0) -> SessionResult:
-        """Replay one fault-free session against ``topology``'s delays."""
-        result = self._replay(topology, processing_delay)
+    def run(
+        self,
+        topology: Topology,
+        processing_delay: float = 0.0,
+        compute=None,
+    ) -> SessionResult:
+        """Replay one fault-free session against ``topology``'s delays.
+
+        ``compute`` selects the :mod:`repro.compute` backend (name,
+        instance, or ``None`` for the process default); every backend
+        replays bitwise identically.
+        """
+        result = resolve_backend(compute).replay_plan(
+            self, topology, processing_delay
+        )
         ctx = _verify_hooks.ACTIVE
         if ctx is not None:
             ctx.observe_session(
@@ -478,74 +530,6 @@ class SessionPlan:
         if tctx is not None:
             tctx.observe_session(result, topology, planned=True)
         return result
-
-    def _replay(self, topology: Topology, processing_delay: float) -> SessionResult:
-        sender = self.sender
-        sender_id = sender.user_id
-        result = SessionResult(sender=sender_id, sender_host=sender.host)
-        edges_append = result.edges.append
-        receipts = result.receipts
-        duplicates = result.duplicate_copies
-        heappush = heapq.heappush
-        heappop = heapq.heappop
-        schedule_for = self._schedule_for
-        schedules = self._schedules
-        ow_rows = topology.one_way_rows()
-        one_way_delay = topology.one_way_delay if ow_rows is None else None
-        queue: List[Tuple[float, int, Id, int, int, Id]] = []
-        seq = 0
-
-        # Seed: the sender forwards at level 0 / time 0.
-        now = 0.0
-        src_id, src_host = sender_id, sender.host
-        sched = self._sender_schedule
-        while True:
-            if ow_rows is not None:
-                delays = ow_rows[src_host]
-                for i, nbr_id, nbr_host in sched:
-                    base_arrival = now + processing_delay + delays[nbr_host]
-                    edges_append(
-                        OverlayEdge(
-                            src_id, nbr_id, src_host, nbr_host, i, now, base_arrival
-                        )
-                    )
-                    heappush(
-                        queue, (base_arrival, seq, nbr_id, nbr_host, i + 1, src_id)
-                    )
-                    seq += 1
-            else:
-                for i, nbr_id, nbr_host in sched:
-                    base_arrival = (
-                        now + processing_delay + one_way_delay(src_host, nbr_host)
-                    )
-                    edges_append(
-                        OverlayEdge(
-                            src_id, nbr_id, src_host, nbr_host, i, now, base_arrival
-                        )
-                    )
-                    heappush(
-                        queue, (base_arrival, seq, nbr_id, nbr_host, i + 1, src_id)
-                    )
-                    seq += 1
-            # Drain deliveries until one triggers a new forward.
-            while True:
-                if not queue:
-                    return result
-                arrival, _, member_id, host, level, upstream = heappop(queue)
-                if member_id in receipts or member_id == sender_id:
-                    duplicates[member_id] = duplicates.get(member_id, 0) + 1
-                    continue
-                receipts[member_id] = Receipt(
-                    member_id, host, arrival, level, upstream
-                )
-                memo = schedules.get(member_id)
-                sched = memo[level] if memo is not None else None
-                if sched is None:
-                    sched = schedule_for(member_id, level)
-                if sched:
-                    now = arrival
-                    src_id, src_host = member_id, host
-                    break
 
 
 def plan_session(
@@ -561,6 +545,7 @@ def rekey_session(
     topology: Topology,
     processing_delay: float = 0.0,
     plan: Optional[SessionPlan] = None,
+    compute=None,
 ) -> SessionResult:
     """A rekey-transport session: the key server is the sender.
 
@@ -572,8 +557,10 @@ def rekey_session(
     if plan is not None:
         if plan.sender_table is not server_table:
             raise ValueError("plan was built for a different server table")
-        return plan.run(topology, processing_delay)
-    return run_multicast(server_table, tables, topology, processing_delay)
+        return plan.run(topology, processing_delay, compute=compute)
+    return run_multicast(
+        server_table, tables, topology, processing_delay, compute=compute
+    )
 
 
 def data_session(
@@ -581,8 +568,11 @@ def data_session(
     tables: Dict[Id, NeighborTable],
     topology: Topology,
     processing_delay: float = 0.0,
+    compute=None,
 ) -> SessionResult:
     """A data-transport session: a particular user is the sender."""
     if sender_id == NULL_ID or sender_id not in tables:
         raise ValueError(f"sender {sender_id} is not a user in the group")
-    return run_multicast(tables[sender_id], tables, topology, processing_delay)
+    return run_multicast(
+        tables[sender_id], tables, topology, processing_delay, compute=compute
+    )

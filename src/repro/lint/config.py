@@ -85,6 +85,25 @@ GLOBAL_NP_RANDOM_FUNCS = frozenset(
     }
 )
 
+#: Dotted call names that construct an RNG *instance*.  Constructing one
+#: at module level — even with a seed — creates a process-wide shared
+#: stream: any scenario that draws from it advances the sequence every
+#: later scenario sees, so outputs stop being a function of the scenario
+#: seed alone.  Generators must be built inside the scenario from its
+#: seed (the ``rng = np.random.default_rng(seed)`` idiom).
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "random.Random",
+        "default_rng",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "np.random.RandomState",
+        "numpy.random.RandomState",
+        "np.random.Generator",
+        "numpy.random.Generator",
+    }
+)
+
 #: The only package whose modules may read OS entropy (``os.urandom``,
 #: ``random.SystemRandom``): real keys are its job, everyone else must be
 #: a deterministic function of a seed.
@@ -96,8 +115,10 @@ ENTROPY_PACKAGES = frozenset({"crypto"})
 #: whose insertion order is guaranteed.  ``net`` joined when the
 #: scheduling seam (``repro.net.scheduling`` / ``repro.net.eventloop``)
 #: moved message delivery onto protocol paths.
+#: ``compute`` joined when the vectorized backend seam (``repro.compute``)
+#: took over the FORWARD fan-out, rekey-split, and key-tree kernels.
 PROTOCOL_PACKAGES = frozenset(
-    {"core", "keytree", "alm", "sim", "distributed", "net"}
+    {"core", "keytree", "alm", "sim", "distributed", "net", "compute"}
 )
 
 # ----------------------------------------------------------------------
@@ -119,6 +140,7 @@ SLOT_MODULES = frozenset({"repro.trace.hooks", "repro.verify.hooks"})
 HOT_PACKAGES = frozenset(
     {
         "alm",
+        "compute",
         "core",
         "crypto",
         "distributed",
@@ -165,6 +187,11 @@ LAYER_FORBIDDEN: dict[str, frozenset[str]] = {
         }
     ),
     "net": frozenset({"sim", "distributed", "experiments", "trace", "verify"}),
+    # Compute backends sit beside core: they may reach into the protocol
+    # layers they vectorize, never into orchestration or observability.
+    "compute": frozenset(
+        {"sim", "distributed", "experiments", "trace", "verify", "alm"}
+    ),
     "sim": frozenset({"distributed", "experiments", "trace", "verify"}),
     "metrics": frozenset(
         {"sim", "distributed", "experiments", "trace", "verify"}

@@ -64,6 +64,7 @@ class Rule:
 def all_rules() -> list[Rule]:
     """Every shipped rule, instantiated, in stable id order."""
     from .determinism import (
+        ModuleRngStateRule,
         SetIterationOrderRule,
         UnseededRandomRule,
         UrandomOutsideCryptoRule,
@@ -77,6 +78,7 @@ def all_rules() -> list[Rule]:
     rules: list[Rule] = [
         WallClockRule(),
         UnseededRandomRule(),
+        ModuleRngStateRule(),
         UrandomOutsideCryptoRule(),
         SetIterationOrderRule(),
         HookEagerImportRule(),

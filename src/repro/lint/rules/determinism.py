@@ -17,6 +17,7 @@ from ..config import (
     GLOBAL_NP_RANDOM_FUNCS,
     GLOBAL_RANDOM_FUNCS,
     PROTOCOL_PACKAGES,
+    RNG_CONSTRUCTORS,
     WALL_CLOCK_ALLOWED,
     WALL_CLOCK_CALLS,
 )
@@ -131,6 +132,52 @@ class UnseededRandomRule(Rule):
                     node,
                     f"`{dotted}()` touches numpy's global RNG state; use "
                     "a np.random.default_rng(seed) Generator",
+                )
+
+
+def _module_level_calls(tree: ast.Module) -> Iterator[ast.Call]:
+    """Every ``Call`` node that executes at import time: module body and
+    class bodies, but nothing inside a function or lambda (those run per
+    call, where a locally constructed Generator is the sanctioned
+    idiom)."""
+
+    def walk(node: ast.AST) -> Iterator[ast.Call]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                yield child
+            yield from walk(child)
+
+    yield from walk(tree)
+
+
+class ModuleRngStateRule(Rule):
+    """No RNG instances at module scope: a module-global Generator —
+    *seeded or not* — is one shared stream for the whole process, so a
+    draw in one scenario shifts what every later scenario sees.  Build
+    the Generator inside the scenario from its seed instead."""
+
+    rule_id = "determinism-module-rng"
+    family = "determinism"
+    citation = "fixed-seed oracle suite (docs/VERIFY.md)"
+    description = (
+        "RNG instance constructed at module level (process-shared stream)"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        for node in _module_level_calls(module.tree):
+            dotted = flatten_attribute(node.func)
+            if dotted in RNG_CONSTRUCTORS:
+                yield self.violation(
+                    module,
+                    node,
+                    f"`{dotted}(...)` at module level creates a process-"
+                    "shared random stream; scenarios drawing from it "
+                    "perturb each other — construct the generator inside "
+                    "the scenario from its seed",
                 )
 
 

@@ -1,0 +1,191 @@
+"""Large-group scale rungs: synthetic worlds beyond the builders' reach.
+
+The gtitm worlds the perf workloads use top out around a thousand
+members: building real neighbor tables measures quadratically many RTTs,
+and a dense RTT matrix for tens of thousands of hosts would not fit in
+memory.  The protocol itself has no such limits — one fan-out session is
+linear in members — so the 10k rung fakes *only the construction*:
+
+* :class:`CoordinateTopology` places every host in a plane and defines
+  ``rtt = 2 * euclidean distance``.  No dense matrix is ever built
+  (``one_way_delay`` stays scalar, and doubling the distance makes the
+  one-way delay exactly the distance, with no rounding).
+* :func:`build_scale_world` assigns clustered random IDs and derives
+  *perfectly 1-consistent* K=1 tables directly from the ID trie: entry
+  ``(i, j)`` of any member with prefix ``p`` (the first ``i`` digits) is
+  a fixed representative of the ``p + j`` subtree.  Members sharing a
+  prefix therefore share row lists — :class:`StaticPrimaryTable` holds
+  one list per ``(prefix, own digit)`` pair, so the whole 10k world is
+  a few MB instead of 10k full tables.
+
+The tables quack like :class:`~repro.core.neighbor_table.NeighborTable`
+exactly as far as the FORWARD fan-out reads them (``scheme``, ``owner``,
+``is_server_table``, ``row_primaries``) and never mutate, so both
+compute backends run them unchanged — the workload registry times
+``rekey_session_10k`` on each backend and the conformance suite asserts
+they stay bitwise-equal.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.ids import Id, IdScheme, NULL_ID
+from ..core.neighbor_table import UserRecord
+from ..net.topology import Topology
+
+#: Digit bounds per level: 8 top-level clusters, 32 second-level, then
+#: uniform.  Clustered like the paper's ID assignment (nearby users share
+#: prefixes), and keeps the trie bushy at the top where fan-out happens.
+SCALE_DIGIT_BOUNDS = (8, 32, 256, 256, 256)
+
+
+class CoordinateTopology(Topology):
+    """Hosts in a plane; ``rtt(a, b) = 2 * distance(a, b)``.
+
+    Symmetric with a zero diagonal by construction.  The one-way delay
+    (``rtt / 2``) is then *exactly* the Euclidean distance — scaling by
+    2 is lossless in IEEE binary floating point — so scalar replays and
+    vectorized kernels see identical floats without a dense matrix.
+    """
+
+    def __init__(self, coords: Sequence[Tuple[float, float]], access: float = 1.0):
+        self._coords = [(float(x), float(y)) for x, y in coords]
+        self._access = float(access)
+
+    @property
+    def num_hosts(self) -> int:
+        return len(self._coords)
+
+    def rtt(self, a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        xa, ya = self._coords[a]
+        xb, yb = self._coords[b]
+        return 2.0 * math.hypot(xa - xb, ya - yb)
+
+    def access_rtt(self, host: int) -> float:
+        return self._access
+
+
+class StaticPrimaryTable:
+    """An immutable K=1 neighbor table defined by shared row lists.
+
+    ``rows[i]`` is the fully materialized ``row_primaries(i)`` result:
+    ``[(j, record), ...]`` sorted by ``j``, with the owner's own digit
+    already skipped.  Many members share the same underlying lists (all
+    members with the same prefix and own digit at a level), which is what
+    makes a 10k-member world constructible in linear time.
+    """
+
+    def __init__(self, scheme: IdScheme, owner: UserRecord,
+                 rows: Sequence[List[Tuple[int, UserRecord]]]):
+        self.scheme = scheme
+        self.owner = owner
+        self.k = 1
+        self._rows = rows
+
+    @property
+    def is_server_table(self) -> bool:
+        return self.owner.user_id.is_null
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    def row_primaries(self, i: int) -> List[Tuple[int, UserRecord]]:
+        return self._rows[i]
+
+
+class _TrieNode:
+    __slots__ = ("children", "rep")
+
+    def __init__(self):
+        self.children: Dict[int, "_TrieNode"] = {}
+        self.rep: Optional[UserRecord] = None  # first-seen user in subtree
+
+
+def _scale_ids(num_users: int, rng: np.random.Generator,
+               bounds: Sequence[int]) -> List[Tuple[int, ...]]:
+    """``num_users`` distinct clustered IDs, deterministic in ``rng``."""
+    ids: List[Tuple[int, ...]] = []
+    seen = set()
+    while len(ids) < num_users:
+        batch = rng.integers(
+            0, np.asarray(bounds), size=(num_users - len(ids), len(bounds))
+        )
+        for row in batch.tolist():
+            digits = tuple(row)
+            if digits not in seen:
+                seen.add(digits)
+                ids.append(digits)
+    return ids
+
+
+def build_scale_world(
+    num_users: int,
+    seed: int = 20,
+    scheme: Optional[IdScheme] = None,
+    span: float = 100.0,
+) -> Tuple[CoordinateTopology, StaticPrimaryTable, Dict[Id, StaticPrimaryTable]]:
+    """A ``(topology, server_table, tables)`` triple for ``num_users``.
+
+    Host 0 is the key server; user ``k`` (in ID-generation order) lives
+    on host ``k + 1``.  The derived tables are 1-consistent by
+    construction — entry ``(i, j)`` is the same representative for every
+    member sharing the first ``i`` digits — so Theorem 1 applies and one
+    rekey session delivers every member exactly once.
+    """
+    if scheme is None:
+        scheme = IdScheme(len(SCALE_DIGIT_BOUNDS), max(SCALE_DIGIT_BOUNDS))
+    bounds = SCALE_DIGIT_BOUNDS[: scheme.num_digits]
+    rng = np.random.default_rng(seed)
+    digit_tuples = _scale_ids(num_users, rng, bounds)
+    coords = rng.uniform(0.0, span, size=(num_users + 1, 2))
+    topology = CoordinateTopology([tuple(c) for c in coords.tolist()])
+
+    records = [
+        UserRecord(Id(digits), host=k + 1, access_rtt=1.0)
+        for k, digits in enumerate(digit_tuples)
+    ]
+
+    # ID trie with a first-seen representative per subtree.
+    root = _TrieNode()
+    for rec in records:
+        node = root
+        if node.rep is None:
+            node.rep = rec
+        for d in rec.user_id.digits:
+            node = node.children.setdefault(d, _TrieNode())
+            if node.rep is None:
+                node.rep = rec
+
+    # Shared row lists.  full_rows[node] = [(j, rep of child j)] sorted;
+    # a member's row i is that list minus its own digit's entry.
+    def full_row(node: _TrieNode) -> List[Tuple[int, UserRecord]]:
+        return [(j, node.children[j].rep) for j in sorted(node.children)]
+
+    num_digits = scheme.num_digits
+    server = UserRecord(NULL_ID, host=0, access_rtt=0.0)
+    server_table = StaticPrimaryTable(scheme, server, [full_row(root)])
+
+    tables: Dict[Id, StaticPrimaryTable] = {}
+    row_cache: Dict[Tuple[int, ...], List[Tuple[int, UserRecord]]] = {}
+    for rec in records:
+        digits = rec.user_id.digits
+        node = root
+        rows: List[List[Tuple[int, UserRecord]]] = []
+        for i in range(num_digits):
+            own = digits[i]
+            key = digits[:i] + (own,)
+            row = row_cache.get(key)
+            if row is None:
+                row = [(j, r) for j, r in full_row(node) if j != own]
+                row_cache[key] = row
+            rows.append(row)
+            node = node.children[own]
+        tables[rec.user_id] = StaticPrimaryTable(scheme, rec, rows)
+    return topology, server_table, tables

@@ -232,6 +232,38 @@ def _setup_id_assignment_join(ctx: dict) -> Callable[[], object]:
     return one_join
 
 
+def _scale_world(ctx: dict, num_users: int, seed: int = 20):
+    key = ("scale", num_users, seed)
+    if key not in ctx:
+        from .scale import build_scale_world
+
+        ctx[key] = build_scale_world(num_users, seed=seed)
+    return ctx[key]
+
+
+def _setup_rekey_10k(ctx: dict) -> Callable[[], object]:
+    from ..core.tmesh import rekey_session
+
+    topology, server_table, tables = _scale_world(ctx, 10_000)
+    return lambda: rekey_session(
+        server_table, tables, topology, compute="reference"
+    )
+
+
+def _setup_rekey_10k_numpy(ctx: dict) -> Callable[[], object]:
+    from ..core.tmesh import rekey_session
+
+    topology, server_table, tables = _scale_world(ctx, 10_000)
+    # Prime the one-time structure compile so the rung times the
+    # steady-state replay, mirroring how the figure experiments reuse a
+    # group across thousands of sessions.
+    session = rekey_session(server_table, tables, topology, compute="numpy")
+    session.receipts
+    return lambda: rekey_session(
+        server_table, tables, topology, compute="numpy"
+    )
+
+
 def _setup_fig7(ctx: dict) -> Callable[[], object]:
     from ..experiments.latency_experiments import run_latency_experiment
 
@@ -270,6 +302,20 @@ WORKLOADS: Dict[str, Workload] = {
         Workload("modified_tree_batch", 10, _setup_modified_tree_batch),
         Workload("original_tree_batch", 10, _setup_original_tree_batch),
         Workload("id_assignment_join", 10, _setup_id_assignment_join),
+        Workload(
+            "rekey_session_10k",
+            5,
+            _setup_rekey_10k,
+            group_size=10_000,
+            micro=False,
+        ),
+        Workload(
+            "rekey_session_10k_numpy",
+            15,
+            _setup_rekey_10k_numpy,
+            group_size=10_000,
+            micro=False,
+        ),
         Workload(
             "fig7_experiment", 3, _setup_fig7, group_size=256, micro=False
         ),

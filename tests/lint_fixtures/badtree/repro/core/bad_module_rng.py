@@ -1,0 +1,13 @@
+"""Canary: module-level RNG instance (determinism-module-rng)."""
+
+import random
+
+import numpy as np
+
+#: Seeded, but still one stream shared by every scenario in the process.
+_RNG = np.random.default_rng(42)
+_FALLBACK = random.Random(7)
+
+
+def jitter(n):
+    return _RNG.uniform(size=n) + _FALLBACK.random()

@@ -104,7 +104,7 @@ def test_suppression_is_rule_scoped():
 def test_select_rules_by_family_and_id():
     determinism = select_rules(["determinism"])
     assert {rule.family for rule in determinism} == {"determinism"}
-    assert len(determinism) == 4
+    assert len(determinism) == 5
     single = select_rules(["api-bare-except"])
     assert [rule.rule_id for rule in single] == ["api-bare-except"]
     with pytest.raises(ValueError, match="unknown rule"):

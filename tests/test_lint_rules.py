@@ -93,6 +93,29 @@ def test_unseeded_default_rng_flagged_seeded_clean():
     assert not good
 
 
+def test_module_level_rng_flagged_even_when_seeded():
+    bad = check_source(
+        "import numpy as np\n"
+        "_RNG = np.random.default_rng(42)\n"
+    )
+    assert "determinism-module-rng" in rules_of(bad)
+    bad_class = check_source(
+        "import random\n"
+        "class Sim:\n"
+        "    rng = random.Random(7)\n"
+    )
+    assert "determinism-module-rng" in rules_of(bad_class)
+
+
+def test_function_level_seeded_rng_clean():
+    good = check_source(
+        "import numpy as np\n"
+        "def f(seed):\n"
+        "    return np.random.default_rng(seed).uniform()\n"
+    )
+    assert "determinism-module-rng" not in rules_of(good)
+
+
 def test_urandom_flagged_outside_crypto_only():
     source = "import os\ndef f():\n    return os.urandom(8)\n"
     assert "determinism-urandom" in rules_of(
@@ -333,6 +356,7 @@ def test_bare_except_flagged_typed_clean():
 BADTREE_EXPECTED = {
     "repro/core/bad_wallclock.py": "determinism-wall-clock",
     "repro/core/bad_unseeded_rng.py": "determinism-unseeded-rng",
+    "repro/core/bad_module_rng.py": "determinism-module-rng",
     "repro/core/bad_urandom.py": "determinism-urandom",
     "repro/core/bad_set_order.py": "determinism-set-order",
     "repro/core/bad_hook_eager.py": "hook-eager-import",

@@ -316,6 +316,66 @@ class TestSessionEquivalence:
 
 
 # ----------------------------------------------------------------------
+# Compute backends: numpy kernels vs the reference loops
+# ----------------------------------------------------------------------
+class TestComputeBackendEquivalence:
+    """The :mod:`repro.compute` seam inherits this module's discipline:
+    the ``"numpy"`` backend must be semantically invisible next to
+    ``"reference"``.  Property-based coverage lives in
+    ``tests/test_compute_backends.py``; these cases pin the fixed
+    worlds the rest of this module uses."""
+
+    @pytest.fixture(scope="class")
+    def numpy_backend(self):
+        from repro.compute import ComputeUnavailable, create_backend
+
+        try:
+            return create_backend("numpy")
+        except ComputeUnavailable:
+            pytest.skip("fast extra not installed")
+
+    def test_session_bitwise_identical(self, small_world, numpy_backend):
+        topology, group = small_world
+        ref = rekey_session(
+            group.server_table, group.tables, topology, compute="reference"
+        )
+        vec = rekey_session(
+            group.server_table, group.tables, topology, compute=numpy_backend
+        )
+        assert list(ref.receipts) == list(vec.receipts)
+        assert pickle.dumps(
+            (ref.receipts, ref.edges, ref.duplicate_copies)
+        ) == pickle.dumps((vec.receipts, vec.edges, vec.duplicate_copies))
+
+    def test_deferred_session_survives_pickle(self, small_world, numpy_backend):
+        """The numpy backend's lazy SessionResult must materialize on
+        pickle, so fork-boundary payloads stay byte-compatible."""
+        topology, group = small_world
+        vec = rekey_session(
+            group.server_table, group.tables, topology, compute=numpy_backend
+        )
+        clone = pickle.loads(pickle.dumps(vec))
+        assert clone.receipts == vec.receipts
+        assert clone.edges == vec.edges
+        assert clone.duplicate_copies == vec.duplicate_copies
+
+    def test_plan_replay_matches_classic_on_both_backends(
+        self, small_world, numpy_backend
+    ):
+        topology, group = small_world
+        classic = rekey_session(
+            group.server_table, group.tables, topology, compute="reference"
+        )
+        plan = plan_session(group.server_table, group.tables)
+        for backend in ("reference", numpy_backend):
+            replayed = plan.run(topology, compute=backend)
+            assert list(replayed.receipts) == list(classic.receipts)
+            assert replayed.receipts == classic.receipts
+            assert replayed.edges == classic.edges
+            assert replayed.duplicate_copies == classic.duplicate_copies
+
+
+# ----------------------------------------------------------------------
 # NeighborTable.fill vs sequential inserts
 # ----------------------------------------------------------------------
 @given(st.integers(min_value=0, max_value=2**32 - 1))

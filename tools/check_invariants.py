@@ -20,6 +20,10 @@ against Section 2.4):
                         256-user rekey, with the trace-determinism
                         invariant (same seed => byte-identical trace)
                         checked over two runs.
+* ``compute-backends`` — the same fixed-seed session replayed through
+                        every :mod:`repro.compute` backend under full
+                        verification, then diffed backend against
+                        backend: the bitwise-equivalence contract.
 * ``corruption-canary`` — a deliberately corrupted server table; this
                         scenario MUST trip the checkers.  It proves the
                         gate can fail, so a silently broken verification
@@ -202,6 +206,59 @@ def scenario_traced_rekey(seed: int, users: int) -> str:
             f"({len(first.splitlines())} lines)")
 
 
+def scenario_compute_backends(seed: int, users: int) -> str:
+    """Replay one fixed-seed session through every compute backend under
+    full verification (each run is checked against the brute-force
+    differential oracle), then diff the backends against each other: the
+    bitwise-equivalence contract of :mod:`repro.compute`
+    (docs/PERFORMANCE.md).  Runs reference-only when numpy is absent."""
+    import pickle
+
+    from repro.compute import ComputeUnavailable, create_backend
+    from repro.experiments.common import build_group, build_topology
+    from repro.verify.report import ViolationReport
+
+    size = min(users, 256)
+    topology = build_topology("gtitm", size, seed=seed)
+    group = build_group(topology, size, seed=seed)
+    backends = ["reference"]
+    try:
+        create_backend("numpy")
+        backends.append("numpy")
+    except ComputeUnavailable:
+        pass
+
+    states = {}
+    summaries = []
+    for name in backends:
+        with verification(seed=seed) as ctx:
+            session = rekey_session(
+                group.server_table, group.tables, topology, compute=name
+            )
+            states[name] = pickle.dumps(
+                (session.receipts, session.edges, session.duplicate_copies)
+            )
+            summaries.append(f"{name}: {ctx.summary()}")
+    if len(backends) == 2 and states["reference"] != states["numpy"]:
+        raise InvariantViolation(
+            [
+                ViolationReport(
+                    checker="compute-equivalence",
+                    citation="docs/PERFORMANCE.md (compute backends)",
+                    detail="reference and numpy backends produced "
+                    "different session bytes",
+                    seed=seed,
+                    repro="PYTHONPATH=src python tools/check_invariants.py "
+                    f"--only compute-backends --seed {seed}",
+                )
+            ]
+        )
+    return "; ".join(summaries) + (
+        "; backends bitwise-equal" if len(backends) == 2
+        else "; numpy unavailable (reference only)"
+    )
+
+
 def scenario_corruption_canary(seed: int, users: int) -> str:
     """MUST raise: a server table with one entry emptied cuts off a
     level-1 subtree, violating Theorem 1 on the next multicast."""
@@ -235,6 +292,7 @@ SCENARIOS = [
     ("churn", scenario_churn, False),
     ("distributed", scenario_distributed, False),
     ("traced-rekey", scenario_traced_rekey, False),
+    ("compute-backends", scenario_compute_backends, False),
     ("corruption-canary", scenario_corruption_canary, True),
 ]
 

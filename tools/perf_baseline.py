@@ -6,6 +6,13 @@ Usage (from the repo root)::
     python tools/perf_baseline.py                       # refresh post numbers
     python tools/perf_baseline.py --only fig7_experiment
     python tools/perf_baseline.py --pre-tree /path/to/old/src
+    python tools/perf_baseline.py --out BENCH_PR7.json \
+        --compute numpy --compare BENCH_PR2.json        # PR-over-PR speedups
+
+``--compute`` selects the :mod:`repro.compute` backend the post worker
+runs under (via ``REPRO_COMPUTE``); ``--compare`` prints per-workload
+speedup ratios against a previously committed bench file and exits 2 if
+any shared workload regressed beyond ``REPRO_BENCH_TOLERANCE``.
 
 The output records, per workload: the *pre-optimization* baseline
 medians, the *post* medians measured now, and the speedup.  Both sides
@@ -59,9 +66,11 @@ class Worker:
     """A persistent ``tools/bench_worker.py`` subprocess bound to one
     source tree."""
 
-    def __init__(self, src_tree: Path):
+    def __init__(self, src_tree: Path, extra_env=None):
         env = dict(os.environ)
         env["PYTHONPATH"] = str(src_tree)
+        if extra_env:
+            env.update(extra_env)
         self.proc = subprocess.Popen(
             [sys.executable, str(REPO_ROOT / "tools" / "bench_worker.py")],
             stdin=subprocess.PIPE,
@@ -93,9 +102,25 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
+        "--out",
         type=Path,
         default=REPO_ROOT / "BENCH_PR2.json",
         help="where to write the results (default: repo-root BENCH_PR2.json)",
+    )
+    parser.add_argument(
+        "--compute",
+        default=None,
+        help="repro.compute backend for the post measurements (sets "
+        "REPRO_COMPUTE in the post worker, e.g. --compute numpy)",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        help="a previously committed bench JSON (e.g. BENCH_PR2.json): "
+        "print per-workload speedup ratios of its post medians over this "
+        "run's, and exit 2 if any shared workload regressed beyond "
+        "REPRO_BENCH_TOLERANCE (default 0.75, calibration-scaled)",
     )
     parser.add_argument(
         "--only",
@@ -134,7 +159,8 @@ def main(argv=None) -> int:
     if unknown:
         parser.error(f"unknown workloads: {unknown} (have {list(WORKLOADS)})")
 
-    post_worker = Worker(REPO_ROOT / "src")
+    extra_env = {"REPRO_COMPUTE": args.compute} if args.compute else None
+    post_worker = Worker(REPO_ROOT / "src", extra_env=extra_env)
     pre_worker = Worker(args.pre_tree) if args.pre_tree else None
     try:
         ops = {}
@@ -190,8 +216,52 @@ def main(argv=None) -> int:
         "calibration": calibration,
         "ops": ops,
     }
+    if args.compute:
+        payload["compute"] = args.compute
     args.output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.output}")
+
+    if args.compare is not None:
+        return compare(json.loads(args.compare.read_text()), payload,
+                       args.compare.name)
+    return 0
+
+
+def compare(old: dict, new: dict, old_name: str) -> int:
+    """Per-workload speedup of ``new`` over ``old`` (ratio of post
+    medians), with the regression lane's calibration scaling and
+    tolerance.  Returns 2 when any shared workload regressed."""
+    tolerance = float(os.environ.get("REPRO_BENCH_TOLERANCE", "0.75"))
+    old_cal = (old.get("calibration") or {}).get("median_ms")
+    new_cal = (new.get("calibration") or {}).get("median_ms")
+    # How much slower this machine/moment is than the one that produced
+    # the old file; floored at 1.0 so fast machines don't read as wins.
+    scale = max(1.0, new_cal / old_cal) if old_cal and new_cal else 1.0
+    regressed = []
+    print(f"\nspeedup vs {old_name} (machine scale {scale:.2f}):")
+    for name, entry in new["ops"].items():
+        old_entry = old.get("ops", {}).get(name)
+        old_post = (old_entry or {}).get("post")
+        post = entry.get("post")
+        if not old_post or not post:
+            print(f"{name:28s} (no {old_name} post median; skipped)")
+            continue
+        ratio = old_post["median_ms"] / post["median_ms"]
+        limit = old_post["median_ms"] * scale * (1.0 + tolerance)
+        flag = ""
+        if post["median_ms"] > limit:
+            regressed.append(name)
+            flag = "  REGRESSED"
+        print(
+            f"{name:28s} {old_post['median_ms']:10.3f} ms -> "
+            f"{post['median_ms']:10.3f} ms   {ratio:6.2f}x{flag}"
+        )
+    if regressed:
+        print(
+            f"regressions beyond +{tolerance:.0%} tolerance: {regressed}",
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 
