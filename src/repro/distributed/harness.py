@@ -13,9 +13,8 @@ from ..core.id_assignment import PAPER_THRESHOLDS
 from ..core.id_tree import IdTree
 from ..core.ids import Id, IdScheme, PAPER_SCHEME
 from ..faults.plan import FaultPlan, FaultStats
+from ..net.scheduling import SchedulingBackend, create_backend
 from ..net.topology import Topology
-from ..sim.engine import Simulator
-from ..sim.node import Network
 from ..trace import hooks as _trace_hooks
 from ..verify import hooks as _verify_hooks
 from .messages import MembershipUpdate
@@ -52,15 +51,24 @@ class DistributedGroup:
         k: int = 4,
         seed: int = 0,
         fault_plan: Optional[FaultPlan] = None,
+        backend: "str | SchedulingBackend" = "simulator",
     ):
         self.scheme = scheme
         self.thresholds = thresholds
         self.k = k
-        self.simulator = Simulator()
-        self.network = Network(self.simulator, topology)
-        self.network.install_faults(fault_plan)
+        if isinstance(backend, str):
+            backend = create_backend(backend, topology)
+        self.backend = backend
+        self.scheduler = backend.scheduler
+        self.transport = backend.transport
+        #: Legacy spellings predating the scheduling seam — the same
+        #: objects as ``scheduler`` / ``transport``.  Kept because tests
+        #: and examples read ``world.simulator.now`` / ``world.network``.
+        self.simulator = self.scheduler
+        self.network = self.transport
+        self.transport.install_faults(fault_plan)
         self.fault_plan = fault_plan
-        self.server = ServerNode(self.network, server_host, scheme, k=k, seed=seed)
+        self.server = ServerNode(self.transport, server_host, scheme, k=k, seed=seed)
         self.users: Dict[int, UserNode] = {}
         self.intervals: List[IntervalLog] = []
 

@@ -2,7 +2,9 @@
 
 The experiment drivers compute protocol outcomes directly for speed (as
 the paper's own simulator does); this module runs the same protocols as
-*actual messages* over the discrete event simulator:
+*actual messages* over the scheduling seam (:mod:`repro.net.scheduling`)
+— any registered backend drives them: the discrete event simulator, the
+virtual-clock event loop, or the live asyncio service:
 
 * a joining :class:`UserNode` determines its ID digit by digit with real
   query/response round trips (Section 3.1.1) and RTT pings measured in
@@ -20,6 +22,7 @@ the paper's own simulator does); this module runs the same protocols as
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -31,8 +34,36 @@ from ..core.ids import Id, IdScheme, NULL_ID
 from ..core.neighbor_table import NeighborTable, UserRecord
 from ..core.splitting import split_for_next_hop
 from ..keytree.modified_tree import ModifiedKeyTree
-from ..sim.node import Network, Node
+from ..net.scheduling import Transport, TransportNode
 from . import messages as m
+
+
+def _canonical(value):
+    """Recursively rebuild ``value`` with order-independent containers
+    (dicts and sets sorted by key repr) so byte comparisons of pickled
+    state ignore insertion history.  Used by
+    :meth:`ServerNode.key_tree_state`."""
+    if isinstance(value, dict):
+        return (
+            "dict",
+            tuple(
+                sorted((repr(k), _canonical(v)) for k, v in value.items())
+            ),
+        )
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted(repr(v) for v in value)))
+    if isinstance(value, (list, tuple)):
+        return ("seq", tuple(_canonical(v) for v in value))
+    if isinstance(value, np.random.Generator):
+        return ("rng", repr(value.bit_generator.state))
+    if type(value).__dict__.get("__reduce__") is not None:
+        # The class controls its own pickled form (e.g. Id rebuilds from
+        # digits, dropping memo caches) — canonicalize that, not the
+        # live attributes, so live and restored objects compare equal.
+        return (type(value).__name__, _canonical(value.__reduce__()))
+    if getattr(value, "__dict__", None):
+        return (type(value).__name__, _canonical(vars(value)))
+    return ("leaf", repr(value))
 
 
 @dataclass
@@ -50,25 +81,54 @@ class ProtocolStats:
     recovered_updates: int = 0
 
 
-class ServerNode(Node):
+class ServerNode(TransportNode):
     """The key server: admits users, completes IDs, batches membership
     changes, and sources the interval-end T-mesh multicast."""
 
+    #: Everything that must survive a service restart (see
+    #: :meth:`snapshot_state`).  Order matters: it is the serialization
+    #: order, so snapshots of identical state are byte-identical.
+    _SNAPSHOT_FIELDS = (
+        "k",
+        "rng",
+        "id_tree",
+        "records",
+        "key_tree",
+        "_pending_joins",
+        "_pending_leaves",
+        "_pending_replacements",
+        "_announced",
+        "_all_departed",
+        "_granted",
+        "_assigned_by_host",
+        "_history",
+        "interval",
+        "_clock",
+    )
+
     def __init__(
         self,
-        network: Network,
+        network: Transport,
         host: int,
         scheme: IdScheme,
         k: int = 4,
         seed: int = 0,
     ):
         super().__init__(network, host)
+        #: Legacy spelling predating the scheduling seam; same object as
+        #: ``self.transport``.
+        self.network = network
         self.scheme = scheme
         self.k = k
         self.rng = np.random.default_rng(seed)
         self.id_tree = IdTree(scheme)
         self.records: Dict[Id, UserRecord] = {}
-        self.key_tree = ModifiedKeyTree(scheme)
+        # The tree gets its own seeded generator (derived from the server
+        # seed) so key material — and therefore snapshot bytes — is a
+        # deterministic function of the seed across backends and runs.
+        self.key_tree = ModifiedKeyTree(
+            scheme, rng=np.random.default_rng((seed, 0x6B65))
+        )
         self._pending_joins: List[UserRecord] = []
         self._pending_leaves: List[Id] = []
         self._pending_replacements: Dict[Id, UserRecord] = {}
@@ -101,7 +161,7 @@ class ServerNode(Node):
         elif isinstance(payload, m.NotifyPrefix):
             self._handle_notify(src, payload)
         elif isinstance(payload, m.LeaveRequest):
-            self._handle_leave(payload)
+            self._handle_leave(src, payload)
         elif isinstance(payload, m.FailureNotice):
             self._handle_failure_notice(payload)
         elif isinstance(payload, m.RecoverRequest):
@@ -149,8 +209,18 @@ class ServerNode(Node):
         self._pending_joins.append(record)
         return record
 
-    def _handle_leave(self, msg: m.LeaveRequest) -> None:
+    def _handle_leave(self, src: int, msg: m.LeaveRequest) -> None:
         if msg.user_id not in self.records:
+            # Unknown leaver: a failure notice already evicted it (a
+            # false positive racing its voluntary leave) and it missed
+            # its own departure announcement.  Resend that announcement
+            # so the stuck leaver sees its id in ``leaves`` and
+            # detaches — without this it waits forever, and ``leaving``
+            # blocks its recovery requests.
+            for update in self._history:
+                if msg.user_id in update.leaves:
+                    self.send(src, m.RecoverResponse((update,)))
+                    break
             return
         if msg.user_id in self._pending_leaves:
             return  # client retry of a LeaveRequest already queued
@@ -163,13 +233,18 @@ class ServerNode(Node):
         """Section 3.2: a user reported a dead neighbor.  Process the
         failure as a leave at the interval end (without the leaver's own
         replacement records — it is gone)."""
-        if (
-            msg.failed_user not in self.records
-            or msg.failed_user in self._pending_leaves
-        ):
-            return
-        self._pending_leaves.append(msg.failed_user)
-        self.key_tree.request_leave(msg.failed_user)
+        self.evict(msg.failed_user)
+
+    def evict(self, user_id: Id) -> bool:
+        """Queue a member's departure without its cooperation — the
+        shared path behind failure notices and the service's
+        absent-member eviction after a snapshot restore.  Returns True
+        when a leave was queued (False: unknown or already pending)."""
+        if user_id not in self.records or user_id in self._pending_leaves:
+            return False
+        self._pending_leaves.append(user_id)
+        self.key_tree.request_leave(user_id)
+        return True
 
     def _handle_recover(self, src: int, msg: m.RecoverRequest) -> None:
         """Reference-[31] recovery: unicast the announcements the member
@@ -286,6 +361,64 @@ class ServerNode(Node):
                 )
         return table
 
+    # ------------------------------------------------------------------
+    # Snapshot / restore (service-mode graceful shutdown, docs/SERVICE.md)
+    # ------------------------------------------------------------------
+    SNAPSHOT_VERSION = 1
+
+    def snapshot_state(self) -> bytes:
+        """Serialize everything a restarted key server needs to resume
+        this group: key tree, ID tree, member records, pending batch,
+        announcement history, idempotency caches, and the RNG.  The
+        scheme travels along so a mismatched restore fails loudly.
+
+        Set-valued fields are serialized as sorted tuples (set iteration
+        order depends on insertion history, which a restore does not
+        replay), so snapshots of identical state are byte-identical —
+        including a re-snapshot right after a restore."""
+        state = {}
+        for name in self._SNAPSHOT_FIELDS:
+            value = getattr(self, name)
+            if isinstance(value, (set, frozenset)):
+                value = tuple(sorted(value, key=repr))
+            state[name] = value
+        payload = {
+            "version": self.SNAPSHOT_VERSION,
+            "scheme": (self.scheme.num_digits, self.scheme.base),
+            "state": state,
+        }
+        return pickle.dumps(payload, protocol=4)
+
+    def restore_state(self, blob: bytes) -> None:
+        """Load a :meth:`snapshot_state` blob into this (fresh) server.
+        Hosts of restored members are *not* reconnected automatically;
+        the service evicts absentees (see ``RekeyService.
+        evict_absent_members``) so rekeying continues over live members."""
+        payload = pickle.loads(blob)
+        if payload.get("version") != self.SNAPSHOT_VERSION:
+            raise ValueError(
+                f"snapshot version {payload.get('version')!r} != "
+                f"{self.SNAPSHOT_VERSION}"
+            )
+        if payload["scheme"] != (self.scheme.num_digits, self.scheme.base):
+            raise ValueError(
+                f"snapshot scheme {payload['scheme']} does not match "
+                f"server scheme ({self.scheme.num_digits}, {self.scheme.base})"
+            )
+        for name in self._SNAPSHOT_FIELDS:
+            value = payload["state"][name]
+            if isinstance(getattr(self, name), (set, frozenset)):
+                value = set(value)
+            setattr(self, name, value)
+
+    def key_tree_state(self) -> bytes:
+        """Canonical byte serialization of the key-tree state (sorted
+        containers throughout), for byte-identity assertions across a
+        snapshot/restore cycle.  Raw ``pickle`` of the tree is *not*
+        canonical: set iteration order depends on insertion history, so
+        two equal trees can pickle differently."""
+        return pickle.dumps(_canonical(self.key_tree.__dict__), protocol=4)
+
 
 @dataclass
 class _Phase:
@@ -300,13 +433,13 @@ class _Phase:
     stage: str = "collect"  # collect -> measure -> done
 
 
-class UserNode(Node):
+class UserNode(TransportNode):
     """A user: joins via the real protocol, maintains its table, answers
     queries and pings, and forwards T-mesh multicasts with splitting."""
 
     def __init__(
         self,
-        network: Network,
+        network: Transport,
         host: int,
         server_host: int,
         scheme: IdScheme,
@@ -316,6 +449,9 @@ class UserNode(Node):
         collect_target: int = 10,
     ):
         super().__init__(network, host)
+        #: Legacy spelling predating the scheduling seam; same object as
+        #: ``self.transport``.
+        self.network = network
         self.server_host = server_host
         self.scheme = scheme
         self.thresholds = thresholds
@@ -398,7 +534,7 @@ class UserNode(Node):
             self.stats.server_retries += 1
             self._send_to_server(key, make_msg, done, attempt + 1)
 
-        self._server_retry_events[key] = self.network.simulator.schedule(
+        self._server_retry_events[key] = self.scheduler.schedule(
             self.timeout * (2.0 ** attempt), retry
         )
 
@@ -476,7 +612,7 @@ class UserNode(Node):
                 phase.pending_queries -= 1
                 self._continue_collect(phase)
 
-        self._outstanding[token] = self.network.simulator.schedule(
+        self._outstanding[token] = self.scheduler.schedule(
             self.timeout, on_timeout
         )
 
@@ -552,7 +688,7 @@ class UserNode(Node):
             self._ping_token += 1
             token = self._ping_token
             phase.awaiting_pings.add(token)
-            self._ping_sent[token] = self.network.simulator.now
+            self._ping_sent[token] = self.scheduler.now
             self.stats.pings_sent += 1
             self.send(host, m.PingMsg(token))
 
@@ -572,7 +708,7 @@ class UserNode(Node):
                     if not phase.awaiting_pings:
                         self._decide(phase)
 
-            self._ping_timeouts[token] = self.network.simulator.schedule(
+            self._ping_timeouts[token] = self.scheduler.schedule(
                 self.timeout, on_timeout
             )
 
@@ -582,7 +718,7 @@ class UserNode(Node):
         if timeout_event is not None:
             timeout_event.cancel()
         if sent is not None:
-            self.measured[src] = self.network.simulator.now - sent
+            self.measured[src] = self.scheduler.now - sent
         target = self._probe_targets.pop(pong.token, None)
         if target is not None:
             self._miss_counts.pop(target.user_id, None)  # alive again
@@ -671,7 +807,7 @@ class UserNode(Node):
         for record in list(self.table.all_records()):
             self._ping_token += 1
             token = self._ping_token
-            self._ping_sent[token] = self.network.simulator.now
+            self._ping_sent[token] = self.scheduler.now
             self._probe_targets[token] = record
             self.stats.pings_sent += 1
             self.send(record.host, m.PingMsg(token))
@@ -687,7 +823,7 @@ class UserNode(Node):
                 if misses >= self.failure_threshold:
                     self._declare_failed(record)
 
-            self._ping_timeouts[token] = self.network.simulator.schedule(
+            self._ping_timeouts[token] = self.scheduler.schedule(
                 self.timeout, on_timeout
             )
 
@@ -717,8 +853,13 @@ class UserNode(Node):
         rekey message — and this unicast path restores all of it.  Run
         it periodically (or after an interval-number gap is observed);
         the request and response are themselves subject to the fault
-        plan, so repeated rounds converge."""
-        if not self.joined or self.leaving:
+        plan, so repeated rounds converge.  A *leaving* member still
+        polls: once its departure is announced it receives no more
+        multicasts (it is out of every table), so if it missed the
+        final announcement this unicast is its only way to learn it —
+        applying any recovered update while leaving detaches the node
+        (:meth:`_apply_update`)."""
+        if not self.joined:
             return
         # Report the last *contiguously* seen interval: a member that
         # joined mid-history holds {1} and still needs interval 0's

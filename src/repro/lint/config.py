@@ -150,6 +150,7 @@ HOT_PACKAGES = frozenset(
         "metrics",
         "net",
         "perf",
+        "service",
         "sim",
     }
 )
@@ -168,11 +169,19 @@ SLOT_ATTRIBUTE = "ACTIVE"
 #: also exempt: they are the documented escape hatch the verification
 #: layer itself uses to avoid cycles.
 LAYER_FORBIDDEN: dict[str, frozenset[str]] = {
-    "core": frozenset({"sim", "distributed", "experiments", "trace", "verify"}),
-    "keytree": frozenset(
-        {"alm", "sim", "distributed", "experiments", "trace", "verify"}
+    # ``service`` is the live asyncio orchestration layer (docs/
+    # SERVICE.md): it sits *above* net/distributed, so every protocol
+    # package forbids it — the registry's lazy-import string in
+    # ``repro.net.scheduling`` is the one sanctioned crossing.
+    "core": frozenset(
+        {"sim", "distributed", "experiments", "service", "trace", "verify"}
     ),
-    "alm": frozenset({"sim", "distributed", "experiments", "trace", "verify"}),
+    "keytree": frozenset(
+        {"alm", "sim", "distributed", "experiments", "service", "trace", "verify"}
+    ),
+    "alm": frozenset(
+        {"sim", "distributed", "experiments", "service", "trace", "verify"}
+    ),
     "crypto": frozenset(
         {
             "alm",
@@ -181,20 +190,25 @@ LAYER_FORBIDDEN: dict[str, frozenset[str]] = {
             "keytree",
             "metrics",
             "net",
+            "service",
             "sim",
             "trace",
             "verify",
         }
     ),
-    "net": frozenset({"sim", "distributed", "experiments", "trace", "verify"}),
+    "net": frozenset(
+        {"sim", "distributed", "experiments", "service", "trace", "verify"}
+    ),
     # Compute backends sit beside core: they may reach into the protocol
     # layers they vectorize, never into orchestration or observability.
     "compute": frozenset(
-        {"sim", "distributed", "experiments", "trace", "verify", "alm"}
+        {"sim", "distributed", "experiments", "service", "trace", "verify", "alm"}
     ),
-    "sim": frozenset({"distributed", "experiments", "trace", "verify"}),
+    "sim": frozenset(
+        {"distributed", "experiments", "service", "trace", "verify"}
+    ),
     "metrics": frozenset(
-        {"sim", "distributed", "experiments", "trace", "verify"}
+        {"sim", "distributed", "experiments", "service", "trace", "verify"}
     ),
     "faults": frozenset(
         {
@@ -207,13 +221,18 @@ LAYER_FORBIDDEN: dict[str, frozenset[str]] = {
             "metrics",
             "net",
             "perf",
+            "service",
             "sim",
             "trace",
             "verify",
         }
     ),
-    "perf": frozenset({"distributed", "trace", "verify"}),
-    "distributed": frozenset({"experiments"}),
+    "perf": frozenset({"distributed", "service", "trace", "verify"}),
+    "distributed": frozenset({"experiments", "service"}),
+    # The service layer may import net/distributed (and everything below
+    # them) but never the experiment drivers — the two orchestration
+    # surfaces stay siblings.
+    "service": frozenset({"experiments"}),
     # The linter is a leaf like verify.report: it must analyse the tree
     # without importing it.
     "lint": frozenset(
@@ -228,6 +247,7 @@ LAYER_FORBIDDEN: dict[str, frozenset[str]] = {
             "metrics",
             "net",
             "perf",
+            "service",
             "sim",
             "trace",
             "verify",

@@ -68,6 +68,10 @@ class TimerHandle:
 class EventLoop:
     """Deterministic virtual-clock event loop (asyncio-compatible API)."""
 
+    #: Clock capability (see :func:`repro.net.scheduling.clock_of`):
+    #: purely virtual time — exact-time assertions hold.
+    clock = "virtual"
+
     def __init__(self, seed: int = 0):
         self.seed = seed
         self.now = 0.0

@@ -10,7 +10,7 @@ concrete :class:`Transport` fabric — so protocol code depends on the
 seam, never on a particular engine behind it (DESIGN.md §3: protocol
 layers stay independent of orchestration layers).
 
-Two backends implement the seam:
+Three backends implement the seam:
 
 * ``"simulator"`` — a thin adapter over the existing discrete event
   simulator (:mod:`repro.sim.adapter`): :class:`repro.sim.engine.
@@ -21,8 +21,11 @@ Two backends implement the seam:
   suite.
 * ``"eventloop"`` — a standalone virtual-clock event loop
   (:mod:`repro.net.eventloop`) with an asyncio-flavoured API and **no**
-  ``repro.sim`` import, the substrate for a future always-on service
-  mode over real sockets.
+  ``repro.sim`` import, the substrate the service mode grew from.
+* ``"asyncio"`` — a real asyncio loop (:mod:`repro.service.aio`) that
+  runs the same virtual-clock contract deterministically by default and
+  can pace against the wall clock (``realtime=True``) for the live
+  service; its transport subclass pushes frames over asyncio streams.
 
 Backends register themselves in a name -> factory registry
 (:func:`register_backend`); :func:`create_backend` resolves the two
@@ -173,19 +176,37 @@ class Transport:
         delay = self.topology.one_way_delay(src, dst)
 
         def deliver() -> None:
-            if plan is not None and plan.is_down(dst, self.scheduler.now):
-                plan.stats.crash_drops += 1
-                self.stats.dropped += 1
-                return
-            node = self._nodes.get(dst)
-            if node is None:
-                self.stats.dropped += 1
-                return
-            self.stats.delivered += 1
-            node.on_message(src, payload)
+            self._dispatch(src, dst, payload, plan)
 
         for extra in extra_delays:
             self.scheduler.schedule(delay + extra, deliver)
+
+    def _dispatch(
+        self, src: int, dst: int, payload: Any, plan: Optional["FaultPlan"]
+    ) -> None:
+        """Hand a due message to its destination.  The base fabric
+        delivers in-process; :class:`repro.service.transport.
+        StreamTransport` overrides this to push the message over a real
+        asyncio stream before the same terminal delivery runs on the far
+        side."""
+        self._deliver(src, dst, payload, plan)
+
+    def _deliver(
+        self, src: int, dst: int, payload: Any, plan: Optional["FaultPlan"]
+    ) -> None:
+        """Terminal delivery: crash-window check, node lookup, stats,
+        ``on_message``.  Every path into a node funnels through here so
+        fault semantics stay identical across backends."""
+        if plan is not None and plan.is_down(dst, self.scheduler.now):
+            plan.stats.crash_drops += 1
+            self.stats.dropped += 1
+            return
+        node = self._nodes.get(dst)
+        if node is None:
+            self.stats.dropped += 1
+            return
+        self.stats.delivered += 1
+        node.on_message(src, payload)
 
 
 class TransportNode:
@@ -234,7 +255,17 @@ _BACKEND_FACTORIES: Dict[str, BackendFactory] = {}
 _LAZY_BACKENDS: Dict[str, str] = {
     "simulator": "repro.sim.adapter",
     "eventloop": "repro.net.eventloop",
+    "asyncio": "repro.service.aio",
 }
+
+
+def clock_of(scheduler: Scheduler) -> str:
+    """The scheduler's clock capability: ``"virtual"`` (deterministic
+    virtual time — exact-time assertions hold) or ``"wall"`` (paced
+    against the wall clock — time assertions are lower bounds only).
+    Schedulers advertise it via a ``clock`` attribute; absent means
+    virtual, which every pre-service backend is."""
+    return getattr(scheduler, "clock", "virtual")
 
 
 def register_backend(name: str, factory: BackendFactory) -> None:

@@ -1,0 +1,331 @@
+"""The ``"asyncio"`` scheduling backend: a real asyncio event loop
+behind the :class:`repro.net.scheduling.Scheduler` contract.
+
+Two drive modes, one timer queue:
+
+* **Deterministic (default).**  Timers fire in ``(when, sequence)``
+  order with virtual timestamps — byte-identical to the ``"simulator"``
+  and ``"eventloop"`` backends, which is how the backend passes the
+  cross-backend conformance lane (``pytest -q -m conformance``)
+  unchanged.  Without streams attached no asyncio loop is even spun up:
+  the drain is a plain heap loop, so conformance-scale tests do not leak
+  event-loop file descriptors.
+* **Realtime (``realtime=True``).**  The drain paces timers against the
+  wall clock (``time_scale`` real seconds per virtual unit) through a
+  real ``asyncio`` loop, yielding between callbacks so stream readers
+  and writers interleave — the live service mode (docs/SERVICE.md).
+  ``clock == "wall"`` advertises the capability: exact-time assertions
+  degrade to lower bounds (see :func:`repro.net.scheduling.clock_of`),
+  they are never skipped.
+
+The scheduler also tracks ``inflight`` — frames a
+:class:`repro.service.transport.StreamTransport` has written to a socket
+but not yet dispatched on arrival — so a drain with an empty timer queue
+waits for the wire to go quiet before declaring quiescence.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional
+
+import numpy as np
+
+from ..net.eventloop import TimerHandle
+from ..net.scheduling import SchedulingBackend, Transport, register_backend
+from ..trace import hooks as _trace_hooks
+
+
+class AsyncioScheduler:
+    """A :class:`~repro.net.scheduling.Scheduler` driven by asyncio."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        realtime: bool = False,
+        time_scale: float = 1e-3,
+        stall_timeout: float = 5.0,
+    ):
+        self.seed = seed
+        #: Pace timers against the wall clock instead of collapsing
+        #: virtual time (the live-service mode).
+        self.realtime = realtime
+        #: Real seconds per virtual time unit (the protocol's unit is
+        #: milliseconds, so 1e-3 is true realtime and 1e-4 is 10x).
+        self.time_scale = time_scale
+        #: Real seconds to wait on a silent wire (inflight frames whose
+        #: connection died) before a drain gives up.
+        self.stall_timeout = stall_timeout
+        #: Clock capability flag (:func:`repro.net.scheduling.clock_of`).
+        self.clock = "wall" if realtime else "virtual"
+        self.now = 0.0
+        self._heap: List[TimerHandle] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+        #: backend-local randomness, a deterministic function of ``seed``
+        self.rng = np.random.default_rng(seed)
+        #: Frames written to a stream but not yet dispatched on arrival.
+        self.inflight = 0
+        #: Set by :class:`~repro.service.transport.StreamTransport` once
+        #: any stream is attached: drains then yield to the loop between
+        #: callbacks so socket IO interleaves with timers.
+        self.io_bound = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._owns_loop = False
+        self._wakeup: Optional[asyncio.Event] = None
+        self._wall_start: Optional[float] = None
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # The Scheduler interface
+    # ------------------------------------------------------------------
+    def schedule(
+        self, delay: float, action: Callable[[], None]
+    ) -> TimerHandle:
+        """Run ``action`` after ``delay`` virtual time units."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self.now + delay, action)
+
+    def schedule_at(
+        self, time: float, action: Callable[[], None]
+    ) -> TimerHandle:
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule at {time}, current time is {self.now}"
+            )
+        handle = TimerHandle(time, next(self._seq), action)
+        heapq.heappush(self._heap, handle)
+        self._kick()
+        return handle
+
+    def step(self) -> bool:
+        """Run the next pending timer; False when the queue is empty."""
+        handle = self._peek()
+        if handle is None:
+            return False
+        heapq.heappop(self._heap)
+        self._fire(handle)
+        return True
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Drain timers (same contract as every backend: stop when the
+        queue empties, virtual time passes ``until``, or ``max_events``
+        ran; advance ``now`` to ``until`` when the queue drains early).
+        Emits the backend-independent ``sim.run`` span when traced."""
+        tctx = _trace_hooks.ACTIVE
+        if tctx is None:
+            return self._run(until, max_events)
+        with tctx.span("sim.run") as span:
+            executed = self._run(until, max_events)
+            span.set(events=executed, now_ms=self.now)
+        tctx.registry.inc("sim.events", executed)
+        return executed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for h in self._heap if not h._cancelled)
+
+    # ------------------------------------------------------------------
+    # asyncio-compatible spellings (mirror repro.net.eventloop.EventLoop)
+    # ------------------------------------------------------------------
+    def time(self) -> float:
+        """The loop's clock (``asyncio.AbstractEventLoop.time``)."""
+        return self.now
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> TimerHandle:
+        """Schedule ``callback(*args)`` at the current instant; it runs
+        after everything already queued for this instant (FIFO)."""
+        return self.call_at(self.now, callback, *args)
+
+    def call_later(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> TimerHandle:
+        if args:
+            return self.schedule(delay, lambda: callback(*args))
+        return self.schedule(delay, callback)
+
+    def call_at(
+        self, when: float, callback: Callable[..., None], *args: Any
+    ) -> TimerHandle:
+        if args:
+            return self.schedule_at(when, lambda: callback(*args))
+        return self.schedule_at(when, callback)
+
+    # ------------------------------------------------------------------
+    # Live-service surface
+    # ------------------------------------------------------------------
+    def run_coro(self, coro: "Any") -> Any:
+        """Run a coroutine to completion on this scheduler's loop — the
+        sync entry point the service uses for connection setup/teardown."""
+        return self._ensure_loop().run_until_complete(coro)
+
+    def io_started(self) -> None:
+        """A frame went onto the wire (StreamTransport egress)."""
+        self.inflight += 1
+
+    def io_finished(self) -> None:
+        """A frame came off the wire (or its connection died)."""
+        self.inflight -= 1
+        self._kick()
+
+    @property
+    def quiescent(self) -> bool:
+        """No pending timers and nothing on the wire."""
+        return self.pending == 0 and self.inflight == 0
+
+    def close(self) -> None:
+        """Release the private asyncio loop (if one was created)."""
+        if (
+            self._loop is not None
+            and self._owns_loop
+            and not self._loop.is_closed()
+        ):
+            self._loop.close()
+        self._loop = None
+
+    async def drain(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Coroutine drain: the async twin of :meth:`run`, with realtime
+        pacing and waits for inflight stream frames.  Timers still fire
+        strictly in ``(when, sequence)`` order; ingress dispatches run in
+        the gaps where the drain awaits."""
+        self._ensure_loop()
+        if self._draining:
+            raise RuntimeError("scheduler is already draining")
+        self._draining = True
+        self._wakeup = asyncio.Event()
+        if self.realtime:
+            self._wall_start = self._loop.time() - self.now * self.time_scale
+        executed = 0
+        stalled = 0.0
+        try:
+            while True:
+                if max_events is not None and executed >= max_events:
+                    break
+                head = self._peek()
+                if head is None:
+                    if self.inflight > 0:
+                        # Empty queue but frames on the wire: let reader
+                        # tasks run.  A wire silent past stall_timeout
+                        # means a dead connection; give up rather than
+                        # hang (io_finished was missed by a peer crash).
+                        if await self._pause(0.05):
+                            stalled = 0.0
+                        else:
+                            stalled += 0.05
+                            if stalled >= self.stall_timeout:
+                                break
+                        continue
+                    break
+                stalled = 0.0
+                if until is not None and head.when > until:
+                    break
+                if self.realtime:
+                    target = self._wall_start + head.when * self.time_scale
+                    delay = target - self._loop.time()
+                    if delay > 0:
+                        # Pace; an early wakeup (new timer or ingress)
+                        # re-evaluates which timer is due first.
+                        await self._pause(delay)
+                        continue
+                heapq.heappop(self._heap)
+                self._fire(head)
+                executed += 1
+                if self.io_bound:
+                    await asyncio.sleep(0)
+        finally:
+            self._draining = False
+            self._wakeup = None
+            self._wall_start = None
+        head = self._peek()
+        if until is not None and (head is None or head.when > until):
+            self.now = max(self.now, until)
+        return executed
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _run(self, until: Optional[float], max_events: Optional[int]) -> int:
+        if self.realtime or self.io_bound or self.inflight:
+            return self.run_coro(self.drain(until, max_events))
+        # Pure virtual-clock drain: no asyncio machinery, no loop fds —
+        # byte-identical to repro.net.eventloop.EventLoop._drain.
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                break
+            head = self._heap[0]
+            if head._cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and head.when > until:
+                break
+            heapq.heappop(self._heap)
+            self._fire(head)
+            executed += 1
+        if until is not None and (not self._heap or self._heap[0].when > until):
+            self.now = max(self.now, until)
+        return executed
+
+    def _peek(self) -> Optional[TimerHandle]:
+        while self._heap and self._heap[0]._cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0] if self._heap else None
+
+    def _fire(self, handle: TimerHandle) -> None:
+        if self.realtime and self._loop is not None and self._wall_start is not None:
+            # Honest late-fire timestamps: a timer that ran behind the
+            # wall schedule reports the time it actually fired.  This is
+            # the one place wall time leaks into ``now`` — hence the
+            # "wall" clock capability.
+            elapsed = (self._loop.time() - self._wall_start) / self.time_scale
+            self.now = max(handle.when, elapsed)
+        else:
+            self.now = handle.when
+        self.events_processed += 1
+        handle._callback()
+
+    def _kick(self) -> None:
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    async def _pause(self, timeout: float) -> bool:
+        """Wait for a wakeup (new timer / ingress frame) up to
+        ``timeout`` real seconds; True when woken, False on timeout."""
+        self._wakeup.clear()
+        try:
+            await asyncio.wait_for(self._wakeup.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None or self._loop.is_closed():
+            try:
+                self._loop = asyncio.get_running_loop()
+                self._owns_loop = False
+            except RuntimeError:
+                self._loop = asyncio.new_event_loop()
+                self._owns_loop = True
+        return self._loop
+
+
+def asyncio_backend(topology) -> SchedulingBackend:
+    """The ``"asyncio"`` backend: deterministic virtual-clock drive by
+    default (what the conformance lane exercises); the service turns on
+    realtime pacing and the stream transport explicitly."""
+    scheduler = AsyncioScheduler()
+    return SchedulingBackend("asyncio", scheduler, Transport(scheduler, topology))
+
+
+register_backend("asyncio", asyncio_backend)

@@ -1,0 +1,78 @@
+"""The live transport: the shared delivery fabric with stream egress.
+
+:class:`StreamTransport` keeps everything about
+:class:`repro.net.scheduling.Transport` — the fault plan is consulted at
+send time, topology delay schedules the dispatch, crash windows and
+detach checks run at terminal delivery — and changes exactly one step:
+when the due message's destination has a registered stream, the dispatch
+writes a frame to that stream instead of calling the node directly.  The
+far side's reader feeds :meth:`StreamTransport.ingress`, which funnels
+into the same terminal delivery.  Hosts without a stream (the key server
+itself, or a fallback run without sockets) deliver in-process, so the
+protocol is indifferent to which hosts are "really" remote.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from ..net.scheduling import Transport
+from .wire import encode_frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import asyncio
+
+    from ..faults.plan import FaultPlan
+    from ..net.topology import Topology
+    from .aio import AsyncioScheduler
+
+
+class StreamTransport(Transport):
+    """Transport whose dispatch step crosses a real asyncio stream."""
+
+    def __init__(self, scheduler: "AsyncioScheduler", topology: "Topology"):
+        super().__init__(scheduler, topology)
+        #: host -> hub-side writer for that host's endpoint connection.
+        self.writers: Dict[int, "asyncio.StreamWriter"] = {}
+        self.frames_sent = 0
+        self.frames_delivered = 0
+        #: Dispatches that fell back to in-process delivery because the
+        #: destination had no live stream.
+        self.local_deliveries = 0
+
+    # ------------------------------------------------------------------
+    def register_stream(
+        self, host: int, writer: "asyncio.StreamWriter"
+    ) -> None:
+        """Route subsequent traffic for ``host`` over ``writer``."""
+        self.writers[host] = writer
+        self.scheduler.io_bound = True
+
+    def unregister_stream(self, host: int) -> None:
+        self.writers.pop(host, None)
+
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self, src: int, dst: int, payload: Any, plan: Optional["FaultPlan"]
+    ) -> None:
+        writer = self.writers.get(dst)
+        if writer is None or writer.is_closing():
+            if writer is not None:
+                self.writers.pop(dst, None)
+            self.local_deliveries += 1
+            self._deliver(src, dst, payload, plan)
+            return
+        self.scheduler.io_started()
+        self.frames_sent += 1
+        writer.write(encode_frame(src, dst, payload))
+
+    def ingress(self, src: int, dst: int, payload: Any) -> None:
+        """A frame arrived on ``dst``'s endpoint stream.  Terminal
+        delivery runs against the *currently installed* fault plan (the
+        plan object is process-shared, so for the single-plan service
+        this matches the captured-plan semantics of the base fabric)."""
+        try:
+            self._deliver(src, dst, payload, self.fault_plan)
+        finally:
+            self.frames_delivered += 1
+            self.scheduler.io_finished()

@@ -1,0 +1,77 @@
+"""Framing and codec for the live service's streams.
+
+Frames are length-prefixed pickles of ``(src, dst, payload)`` triples
+where ``payload`` is one of the :mod:`repro.distributed.messages`
+dataclasses (or the :class:`Hello` control message an endpoint sends
+first).  Decoding goes through a restricted unpickler that only resolves
+names from this project, numpy, and builtins — the usual hygiene for a
+pickle wire format, and a loud failure on corrupt frames.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+#: Frames larger than this are treated as corruption, not data.
+MAX_FRAME = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Module prefixes the unpickler will resolve classes from.
+ALLOWED_PREFIXES = ("repro.", "numpy", "builtins")
+
+
+@dataclass(frozen=True)
+class Hello:
+    """First frame on every endpoint connection: which host this
+    stream carries traffic for."""
+
+    host: int
+
+
+class RestrictedUnpickler(pickle.Unpickler):
+    def find_class(self, module: str, name: str) -> Any:
+        if module in ("numpy", "builtins") or module.startswith(
+            ALLOWED_PREFIXES
+        ):
+            return super().find_class(module, name)
+        raise pickle.UnpicklingError(
+            f"frame references forbidden global {module}.{name}"
+        )
+
+
+def encode_frame(src: int, dst: int, payload: Any) -> bytes:
+    body = pickle.dumps((src, dst, payload), protocol=4)
+    if len(body) > MAX_FRAME:
+        raise ValueError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _HEADER.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> Tuple[int, int, Any]:
+    triple = RestrictedUnpickler(io.BytesIO(body)).load()
+    if not (isinstance(triple, tuple) and len(triple) == 3):
+        raise pickle.UnpicklingError(f"malformed frame: {type(triple)}")
+    return triple
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+) -> Optional[Tuple[int, int, Any]]:
+    """Read one frame; None on a clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ValueError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_body(body)

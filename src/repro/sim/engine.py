@@ -42,6 +42,10 @@ class Event:
 class Simulator:
     """Time-ordered event loop."""
 
+    #: Clock capability (see :func:`repro.net.scheduling.clock_of`):
+    #: purely virtual time — exact-time assertions hold.
+    clock = "virtual"
+
     def __init__(self) -> None:
         self.now = 0.0
         self._queue: List[Event] = []

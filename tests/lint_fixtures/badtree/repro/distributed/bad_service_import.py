@@ -1,0 +1,12 @@
+"""Canary: protocol layer importing the live service (layering-import).
+
+``repro.service`` sits *above* the protocol packages; the lazy-import
+registry string in ``repro.net.scheduling`` is the one sanctioned
+crossing.
+"""
+
+from repro.service import RekeyService
+
+
+def serve(topology):
+    return RekeyService(topology, server_host=0)

@@ -66,4 +66,5 @@ def test_expected_examples_present():
         "distributed_protocol",
         "lossy_wan",
         "fault_injection",
+        "service_quickstart",
     } <= names

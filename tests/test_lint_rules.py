@@ -235,6 +235,42 @@ def test_type_checking_import_exempt():
     assert "layering-import" not in rules_of(found)
 
 
+def test_protocol_packages_importing_service_flagged():
+    """docs/SERVICE.md layering: the live service sits above every
+    protocol package, so the import may never point the other way."""
+    for relpath in (
+        "repro/core/keys.py",
+        "repro/net/scheduling.py",
+        "repro/alm/reliable.py",
+        "repro/distributed/nodes.py",
+        "repro/sim/engine.py",
+    ):
+        found = check_source(
+            "from repro.service import RekeyService\n", relpath=relpath
+        )
+        assert "layering-import" in rules_of(found), relpath
+
+
+def test_service_importing_protocol_layers_is_fine():
+    found = check_source(
+        "from repro.net.scheduling import SchedulingBackend\n"
+        "from repro.distributed.harness import DistributedGroup\n"
+        "from repro.faults.plan import FaultPlan\n",
+        relpath="repro/service/server.py",
+    )
+    assert "layering-import" not in rules_of(found)
+
+
+def test_service_importing_experiments_flagged():
+    """The two orchestration surfaces stay siblings: the service never
+    reaches into the experiment drivers."""
+    found = check_source(
+        "from repro.experiments.config import Scale\n",
+        relpath="repro/service/soak.py",
+    )
+    assert "layering-import" in rules_of(found)
+
+
 def test_slot_module_import_exempt_from_layering():
     found = check_source(
         "from repro.trace import hooks as _trace_hooks\n"
@@ -362,6 +398,7 @@ BADTREE_EXPECTED = {
     "repro/core/bad_hook_eager.py": "hook-eager-import",
     "repro/core/bad_hook_unguarded.py": "hook-unguarded",
     "repro/core/bad_layering.py": "layering-import",
+    "repro/distributed/bad_service_import.py": "layering-import",
     "repro/experiments/bad_fork_map.py": "fork-unpicklable",
     "repro/experiments/parallel.py": "fork-slots",
     "repro/core/bad_mutable_default.py": "api-mutable-default",

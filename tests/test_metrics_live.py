@@ -1,0 +1,190 @@
+"""Metrics export under live-service concurrency (docs/OBSERVABILITY.md).
+
+The batch exporters are already pinned by the trace lane; this file pins
+the *live* half the soak harness depends on: scraping the active
+registry mid-session — while the service still has timers queued and
+frames on the wire — must yield well-formed Prometheus text and JSONL
+with counters monotonic from scrape to scrape, and the service's
+``GET /metrics`` endpoint must serve the same exposition over HTTP.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.net import TransitStubParams, TransitStubTopology
+from repro.service import RekeyService, ScrapeLoop
+from repro.trace import tracing
+
+pytestmark = pytest.mark.trace
+
+SEED = 7
+HOSTS = 17
+PARAMS = TransitStubParams(
+    transit_domains=3, transit_per_domain=3, stubs_per_transit=2, stub_size=3
+)
+
+
+@pytest.fixture()
+def live_scrapes(tmp_path):
+    """The soak harness's scrape loop, driven mid-session: one scrape
+    after every workload step, the service still holding queued timers
+    at scrape time for every non-final scrape."""
+    loop = ScrapeLoop(out_dir=str(tmp_path))
+    with tracing(seed=SEED):
+        topology = TransitStubTopology(
+            num_hosts=HOSTS, params=PARAMS, seed=SEED
+        )
+        service = RekeyService(
+            topology, server_host=0, seed=SEED, use_sockets=False
+        )
+        service.start()
+        pending_at_scrape = []
+        try:
+            for i, host in enumerate((1, 2, 3, 4)):
+                service.join(host, delay=1.0 + 5000.0 * i)
+                service.end_interval(delay=5000.0 * (i + 1))
+            for i in range(4):
+                # Drain to the middle of interval i: this step's events
+                # have run, later intervals are still queued.
+                service.drain(until=2500.0 + 5000.0 * i)
+                pending_at_scrape.append(service.scheduler.pending)
+                loop.scrape()
+            service.drain()
+            loop.scrape()
+        finally:
+            service.stop()
+    return loop, pending_at_scrape, tmp_path
+
+
+def parse_samples(text: str) -> dict:
+    """name{labels} -> float value, skipping comment lines."""
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        key, value = line.rsplit(" ", 1)
+        samples[key] = float(value)
+    return samples
+
+
+class TestPrometheusMidSession:
+    def test_scrapes_happened_mid_session(self, live_scrapes):
+        loop, pending_at_scrape, _ = live_scrapes
+        assert len(loop.prometheus_snapshots) == 5
+        assert all(n > 0 for n in pending_at_scrape)
+
+    def test_text_is_well_formed(self, live_scrapes):
+        loop, _, _ = live_scrapes
+        for text in loop.prometheus_snapshots:
+            assert text.endswith("\n")
+            seen_types = {}
+            for line in text.splitlines():
+                if line.startswith("# TYPE "):
+                    _, _, family, kind = line.split(" ")
+                    assert kind in ("counter", "gauge", "histogram")
+                    # One TYPE declaration per family.
+                    assert family not in seen_types
+                    seen_types[family] = kind
+                elif line and not line.startswith("#"):
+                    name, value = line.rsplit(" ", 1)
+                    float(value)  # parses
+                    family = name.split("{")[0]
+                    base = (
+                        family.rsplit("_", 1)[0]
+                        if family.endswith(("_bucket", "_sum", "_count"))
+                        else family
+                    )
+                    assert base in seen_types or family in seen_types
+
+    def test_counters_are_monotonic_across_scrapes(self, live_scrapes):
+        loop, _, _ = live_scrapes
+        snapshots = [parse_samples(t) for t in loop.prometheus_snapshots]
+        moved = False
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            for key, value in earlier.items():
+                assert later.get(key, 0.0) >= value, key
+            if any(later[k] > earlier.get(k, 0.0) for k in later):
+                moved = True
+        assert moved  # the session was actually producing events
+
+    def test_export_file_matches_the_last_scrape(self, live_scrapes):
+        loop, _, tmp_path = live_scrapes
+        written = (tmp_path / "metrics.prom").read_text()
+        assert written == loop.prometheus_snapshots[-1]
+
+
+class TestJsonlMidSession:
+    def test_every_line_parses_and_is_typed(self, live_scrapes):
+        loop, _, _ = live_scrapes
+        assert len(loop.jsonl_snapshots) == 5
+        for snapshot in loop.jsonl_snapshots:
+            assert snapshot
+            for line in snapshot:
+                record = json.loads(line)
+                assert record["kind"] in ("counter", "gauge", "histogram")
+                assert isinstance(record["name"], str)
+                assert isinstance(record["labels"], dict)
+
+    def test_jsonl_counters_match_prometheus_monotonicity(self, live_scrapes):
+        loop, _, _ = live_scrapes
+        histories = []
+        for snapshot in loop.jsonl_snapshots:
+            counters = {
+                (r["name"], tuple(sorted(r["labels"].items()))): r["value"]
+                for r in map(json.loads, snapshot)
+                if r["kind"] == "counter"
+            }
+            histories.append(counters)
+        for earlier, later in zip(histories, histories[1:]):
+            for key, value in earlier.items():
+                assert later.get(key, 0) >= value, key
+
+
+class TestLiveHttpEndpoint:
+    def test_get_metrics_serves_the_registry(self):
+        with tracing(seed=SEED):
+            topology = TransitStubTopology(
+                num_hosts=HOSTS, params=PARAMS, seed=SEED
+            )
+            service = RekeyService(topology, server_host=0, seed=SEED)
+            service.start()
+            try:
+                port = service.start_metrics_http()
+                if port is None:
+                    pytest.skip("sandbox without loopback sockets")
+                service.join(1, delay=1.0)
+                service.end_interval(delay=5000.0)
+                service.drain()
+
+                async def fetch():
+                    import asyncio
+
+                    reader, writer = await asyncio.open_connection(
+                        "127.0.0.1", port
+                    )
+                    writer.write(
+                        b"GET /metrics HTTP/1.1\r\n"
+                        b"Host: 127.0.0.1\r\n\r\n"
+                    )
+                    await writer.drain()
+                    data = await reader.read()
+                    writer.close()
+                    return data
+
+                response = service.scheduler.run_coro(fetch())
+                head, _, body = response.partition(b"\r\n\r\n")
+                assert b"200 OK" in head.splitlines()[0]
+                text = body.decode("utf-8")
+                assert text == service.scrape_prometheus()
+                assert parse_samples(text)  # non-empty, parseable
+            finally:
+                service.stop()
+
+    def test_scrape_without_trace_context_degrades_gracefully(self):
+        loop = ScrapeLoop()
+        assert loop.scrape() == ""
+        assert loop.prometheus_snapshots == []

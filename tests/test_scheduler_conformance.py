@@ -1,12 +1,19 @@
 """Cross-backend conformance for the scheduling seam.
 
-One parameterized suite run against both :mod:`repro.net.scheduling`
-backends — the discrete event simulator adapter (``"simulator"``) and
-the standalone virtual-clock event loop (``"eventloop"``) — asserting
-identical delivery order, cancel/reschedule semantics, and
+One parameterized suite run against all three :mod:`repro.net.scheduling`
+backends — the discrete event simulator adapter (``"simulator"``), the
+standalone virtual-clock event loop (``"eventloop"``), and the live
+service's asyncio scheduler (``"asyncio"``, deterministic drive mode) —
+asserting identical delivery order, cancel/reschedule semantics, and
 deterministic same-time tie-breaking.  The scripted scenarios reuse the
 fixed seeds of ``tools/check_invariants.py`` (base seed 7), so a
 divergence here points at the same repro key as the oracle suite.
+
+The asyncio backend's *realtime* mode paces against the wall clock and
+advertises ``clock == "wall"`` (:func:`repro.net.scheduling.clock_of`);
+:class:`TestWallClockCapability` re-exercises the key scenarios there
+with exact-time assertions relaxed to lower bounds — relaxed, never
+skipped.
 
 The suite also pins the seam's layering guarantees: the event-loop
 backend must never import ``repro.sim``, and the layering lint gate
@@ -29,13 +36,14 @@ from repro.net.scheduling import (
     SchedulingBackend,
     TransportNode,
     available_backends,
+    clock_of,
     create_backend,
 )
 
 pytestmark = pytest.mark.conformance
 
-#: Both scheduling backends; every test in this file runs against each.
-BACKENDS = ("simulator", "eventloop")
+#: All three scheduling backends; every test in this file runs against each.
+BACKENDS = ("simulator", "eventloop", "asyncio")
 
 #: The oracle suite's base seed (tools/check_invariants.py --seed default).
 ORACLE_SEED = 7
@@ -188,6 +196,80 @@ class TestSchedulerSemantics:
         sched.run()
         assert log == [("first", 1.0), ("second", 3.0)]
 
+    def test_schedule_at_current_instant_from_callback_is_fifo(self, backend):
+        """``schedule_at(now)`` from inside a callback — a time exactly
+        equal to the current virtual clock — is legal (not "the past")
+        and fires in the same instant, after everything already queued
+        for that instant (FIFO), on every backend."""
+        sched = make_scheduler(backend)
+        log = []
+
+        def first():
+            log.append(("first", sched.now))
+            sched.schedule_at(sched.now, lambda: log.append(("same", sched.now)))
+
+        sched.schedule(2.0, first)
+        sched.schedule(2.0, lambda: log.append(("queued", sched.now)))
+        sched.schedule(3.0, lambda: log.append(("later", sched.now)))
+        sched.run()
+        assert log == [
+            ("first", 2.0),
+            ("queued", 2.0),
+            ("same", 2.0),
+            ("later", 3.0),
+        ]
+
+    def test_schedule_at_current_time_before_run_is_legal(self, backend):
+        """``schedule_at(now)`` outside any callback is equally legal —
+        the boundary is strict: only strictly-past times raise."""
+        sched = make_scheduler(backend)
+        log = []
+        sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert sched.now == 1.0
+        sched.schedule_at(sched.now, lambda: log.append(sched.now))
+        sched.run()
+        assert log == [1.0]
+
+    def test_cancel_during_callback_is_inert_on_fired_handle(self, backend):
+        """Cancelling the *currently firing* handle from inside its own
+        callback must be a no-op on every backend: the event already
+        fired, the cancel neither raises nor un-runs it, and the
+        tombstone does not corrupt the queue for later events."""
+        sched = make_scheduler(backend)
+        log = []
+        handle = {}
+
+        def self_cancelling():
+            log.append(("fired", sched.now))
+            handle["h"].cancel()  # already fired: inert
+
+        handle["h"] = sched.schedule(1.0, self_cancelling)
+        sched.schedule(2.0, lambda: log.append(("after", sched.now)))
+        assert sched.run() == 2
+        assert log == [("fired", 1.0), ("after", 2.0)]
+        assert sched.pending == 0
+
+    def test_cancel_during_callback_of_simultaneous_later_event(self, backend):
+        """Cancelling a not-yet-fired handle scheduled for the *same*
+        instant, from a callback firing at that instant, suppresses it
+        identically across backends (the FIFO successor is reaped as a
+        tombstone, never run)."""
+        sched = make_scheduler(backend)
+        log = []
+        handles = {}
+
+        def canceller():
+            log.append("canceller")
+            handles["victim"].cancel()
+            handles["victim"].cancel()  # double-cancel: still inert
+
+        sched.schedule(1.0, canceller)
+        handles["victim"] = sched.schedule(1.0, lambda: log.append("victim"))
+        sched.schedule(1.0, lambda: log.append("survivor"))
+        assert sched.run() == 2
+        assert log == ["canceller", "survivor"]
+
 
 # ----------------------------------------------------------------------
 # Cross-backend identity: both schedulers drive the same script to the
@@ -240,7 +322,8 @@ class TestCrossBackendIdentity:
     def test_identical_firing_order(self, seed):
         runs = [scripted_firings(make_scheduler(b), seed) for b in BACKENDS]
         assert runs[0], "the script must actually fire something"
-        assert runs[0] == runs[1]
+        for other in runs[1:]:
+            assert other == runs[0]
 
     def test_identical_message_delivery(self):
         """The transport fabric delivers the same messages at the same
@@ -258,7 +341,8 @@ class TestCrossBackendIdentity:
             inboxes.append(
                 (a.inbox, b.inbox, backend.transport.stats.dropped)
             )
-        assert inboxes[0] == inboxes[1]
+        for other in inboxes[1:]:
+            assert other == inboxes[0]
         assert inboxes[0][2] == 1
 
     def test_identical_fault_plan_decisions(self):
@@ -277,7 +361,8 @@ class TestCrossBackendIdentity:
             results.append(
                 (b.inbox, plan.stats.drops, plan.stats.duplicates)
             )
-        assert results[0] == results[1]
+        for other in results[1:]:
+            assert other == results[0]
         assert results[0][1] > 0  # the plan really injected loss
 
     @pytest.mark.parametrize("backend", BACKENDS)
@@ -294,6 +379,26 @@ class TestCrossBackendIdentity:
         assert outcome.duplicates_surfaced == 0
         assert session.backend.name == backend
 
+    def test_reliable_outcomes_byte_equal_across_backends(self):
+        """The whole repair protocol — NACKs, retransmits, heartbeat
+        rounds — produces a byte-identical :class:`ReliableOutcome` on
+        every virtual-clock backend (the service acceptance bar)."""
+        import pickle
+
+        blobs = []
+        for backend in BACKENDS:
+            ids = oracle_ids(20)
+            topology, _, tables, server_table = make_static_world(
+                SCHEME, ids, seed=ORACLE_SEED, k=1
+            )
+            session = ReliableSession(
+                tables, server_table, topology, backend=backend
+            )
+            outcome = session.multicast([f"rekey-{i}" for i in range(6)])
+            blobs.append(pickle.dumps(outcome, protocol=4))
+        for other in blobs[1:]:
+            assert other == blobs[0]
+
     def test_reliable_session_accepts_a_prebuilt_backend(self):
         ids = oracle_ids(12)
         topology, _, tables, server_table = make_static_world(
@@ -306,6 +411,95 @@ class TestCrossBackendIdentity:
         assert session.scheduler is backend.scheduler
         outcome = session.multicast(["a", "b"])
         assert outcome.delivery_ratio == 1.0
+
+
+# ----------------------------------------------------------------------
+# Wall-clock capability: realtime mode re-runs the key scenarios with
+# exact-time assertions relaxed to lower bounds — relaxed, never skipped
+# ----------------------------------------------------------------------
+class TestWallClockCapability:
+    """The asyncio backend's realtime mode advertises ``clock == "wall"``
+    and may report fire times *later* than scheduled (honest late-fire
+    timestamps), never earlier.  Order and cancel semantics must still
+    match the virtual backends exactly."""
+
+    TIME_SCALE = 1e-7  # effectively unpaced; keeps the lane fast
+
+    def make_wall_scheduler(self):
+        from repro.service.aio import AsyncioScheduler
+
+        sched = AsyncioScheduler(realtime=True, time_scale=self.TIME_SCALE)
+        assert clock_of(sched) == "wall"
+        return sched
+
+    def test_registry_backends_advertise_virtual_clocks(self):
+        for name in BACKENDS:
+            sched = make_scheduler(name)
+            assert clock_of(sched) == "virtual"
+
+    def test_firing_order_exact_times_relaxed(self):
+        sched = self.make_wall_scheduler()
+        log = []
+        sched.schedule(5.0, lambda: log.append(("b", sched.now)))
+        sched.schedule(1.0, lambda: log.append(("a", sched.now)))
+        sched.schedule(9.0, lambda: log.append(("c", sched.now)))
+        assert sched.run() == 3
+        assert [label for label, _ in log] == ["a", "b", "c"]
+        # Wall clock: fire times are lower-bounded by the schedule, not
+        # pinned to it.
+        for (_, at), want in zip(log, (1.0, 5.0, 9.0)):
+            assert at >= want
+        assert sched.now >= 9.0
+        sched.close()
+
+    def test_simultaneous_fifo_and_cancel_semantics_hold_on_wall_clock(self):
+        sched = self.make_wall_scheduler()
+        log = []
+        handles = {}
+
+        def canceller():
+            log.append("canceller")
+            handles["victim"].cancel()
+            handles["own"].cancel()  # fired handle: inert
+
+        handles["own"] = sched.schedule(1.0, canceller)
+        handles["victim"] = sched.schedule(1.0, lambda: log.append("victim"))
+        sched.schedule(1.0, lambda: log.append("survivor"))
+        assert sched.run() == 2
+        assert log == ["canceller", "survivor"]
+        assert sched.pending == 0
+        sched.close()
+
+    def test_call_at_current_instant_on_wall_clock(self):
+        sched = self.make_wall_scheduler()
+        log = []
+
+        def first():
+            log.append("first")
+            sched.call_at(sched.now, lambda: log.append("same"))
+
+        sched.schedule(2.0, first)
+        sched.schedule(2.0, lambda: log.append("queued"))
+        sched.run()
+        assert log == ["first", "queued", "same"]
+        assert sched.now >= 2.0
+        sched.close()
+
+    def test_nested_scheduling_lower_bounds(self):
+        sched = self.make_wall_scheduler()
+        log = []
+
+        def first():
+            log.append(("first", sched.now))
+            sched.schedule(2.0, lambda: log.append(("second", sched.now)))
+
+        sched.schedule(1.0, first)
+        sched.run()
+        assert [label for label, _ in log] == ["first", "second"]
+        first_at = log[0][1]
+        assert first_at >= 1.0
+        assert log[1][1] >= first_at + 2.0
+        sched.close()
 
 
 # ----------------------------------------------------------------------

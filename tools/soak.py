@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Soak/chaos driver for the live rekeying service (docs/SERVICE.md).
+
+Runs :class:`repro.service.SoakHarness` against a real
+:class:`repro.service.RekeyService` — by default with sockets, realtime
+pacing, a fault plan (background drops + per-cycle crash windows), a
+mid-run graceful restart from a snapshot, and a live metrics scrape —
+until the wall-clock budget runs out.  Exits non-zero if any quiescent
+checkpoint found a :mod:`repro.verify` violation or the restarted
+server's key-tree state was not byte-identical to the snapshot.
+
+The acceptance run::
+
+    PYTHONPATH=src python tools/soak.py --seconds 30 --seed 7
+
+Deterministic fallback (no sockets, virtual clock; CI sandboxes)::
+
+    PYTHONPATH=src python tools/soak.py --cycles 12 --seed 7 \
+        --no-sockets --no-realtime
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.net import TransitStubParams, TransitStubTopology
+from repro.service import PROFILES, SoakHarness
+from repro.trace import tracing
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seconds", type=float, default=None,
+                        help="wall-clock soak budget (default: cycle-bounded)")
+    parser.add_argument("--cycles", type=int, default=None,
+                        help="cycle budget (default: 12 when --seconds unset)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="steady")
+    parser.add_argument("--hosts", type=int, default=33,
+                        help="topology size incl. the server host")
+    parser.add_argument("--interval-ms", type=float, default=2000.0,
+                        help="virtual ms per rekey interval")
+    parser.add_argument("--checkpoint-every", type=int, default=4,
+                        help="cycles between invariant checkpoints")
+    parser.add_argument("--drop-rate", type=float, default=0.03,
+                        help="fault-plan background drop rate")
+    parser.add_argument("--crash-every", type=int, default=6,
+                        help="cycles between chaos crash windows (0: never)")
+    parser.add_argument("--time-scale", type=float, default=1e-5,
+                        help="real seconds per virtual ms in realtime mode")
+    parser.add_argument("--no-faults", action="store_true",
+                        help="clean-network soak (no fault plan)")
+    parser.add_argument("--no-sockets", action="store_true",
+                        help="in-process delivery (sandboxes without sockets)")
+    parser.add_argument("--no-realtime", action="store_true",
+                        help="virtual clock, collapse idle time")
+    parser.add_argument("--no-restart", action="store_true",
+                        help="skip the mid-run shutdown/restore restart")
+    parser.add_argument("--snapshot", default=None, metavar="PATH",
+                        help="write the final state snapshot here")
+    parser.add_argument("--scrape-dir", default=None, metavar="DIR",
+                        help="write live Prometheus scrapes under DIR")
+    parser.add_argument("--metrics-http", action="store_true",
+                        help="serve GET /metrics on an ephemeral port")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    cycles = args.cycles
+    if args.seconds is None and cycles is None:
+        cycles = 12
+    topology = TransitStubTopology(
+        num_hosts=args.hosts,
+        params=TransitStubParams(
+            transit_domains=3,
+            transit_per_domain=3,
+            stubs_per_transit=2,
+            stub_size=max(2, (args.hosts - 9) // 6 + 1),
+        ),
+        seed=args.seed,
+    )
+    with tracing(seed=args.seed):
+        harness = SoakHarness(
+            topology,
+            server_host=0,
+            seed=args.seed,
+            profile=args.profile,
+            interval_ms=args.interval_ms,
+            checkpoint_every=args.checkpoint_every,
+            chaos=not args.no_faults,
+            drop_rate=args.drop_rate,
+            crash_every=args.crash_every,
+            realtime=not args.no_realtime,
+            time_scale=args.time_scale,
+            use_sockets=not args.no_sockets,
+            scrape_dir=args.scrape_dir,
+            snapshot_path=args.snapshot,
+            restart_at_cycle=None if args.no_restart else 5,
+            metrics_http=args.metrics_http,
+        )
+        report = harness.run(seconds=args.seconds, cycles=cycles)
+    print(report.render())
+    return 1 if (report.violations or not report.restart_state_match) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
