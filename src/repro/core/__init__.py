@@ -6,6 +6,7 @@ from .ids import Id, IdScheme, NULL_ID, PAPER_SCHEME
 from .id_tree import IdTree
 from .neighbor_table import (
     NeighborTable,
+    StaticPrimaryTable,
     UserRecord,
     build_consistent_tables,
     build_server_table,
@@ -44,6 +45,7 @@ __all__ = [
     "PAPER_SCHEME",
     "IdTree",
     "NeighborTable",
+    "StaticPrimaryTable",
     "UserRecord",
     "build_consistent_tables",
     "build_server_table",

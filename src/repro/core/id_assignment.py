@@ -238,6 +238,37 @@ class IdAssigner:
         return pools
 
 
+def synthesize_clustered_ids(
+    num_users: int,
+    rng: np.random.Generator,
+    bounds: Sequence[int],
+) -> List[Tuple[int, ...]]:
+    """``num_users`` distinct clustered digit tuples, deterministic in
+    ``rng``: digit ``k`` is uniform in ``[0, bounds[k])``, drawn in
+    rejection batches, keeping the first occurrence of each tuple in
+    draw order.
+
+    This is the scale-world ID generator (docs/PERFORMANCE.md, "Scale
+    ladder").  Tight low-level bounds cluster users the way the paper's
+    Section 3.1 assignment does — nearby users share prefixes — which is
+    what makes the derived trie tables bushy at the top.  The vectorized
+    twin :func:`repro.compute.arraytable.synthesize_clustered_codes`
+    consumes the generator identically and must stay bitwise-equal.
+    """
+    ids: List[Tuple[int, ...]] = []
+    seen = set()
+    while len(ids) < num_users:
+        batch = rng.integers(
+            0, np.asarray(bounds), size=(num_users - len(ids), len(bounds))
+        )
+        for row in batch.tolist():
+            digits = tuple(row)
+            if digits not in seen:
+                seen.add(digits)
+                ids.append(digits)
+    return ids
+
+
 def complete_user_id(
     id_tree: IdTree,
     prefix: Id,

@@ -18,6 +18,7 @@ multicast delivery relies on; ``K > 1`` buys failure resilience.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from operator import itemgetter
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tuple
@@ -46,6 +47,9 @@ class UserRecord:
 #: Sort key for (rtt, record) pairs; records themselves are not ordered,
 #: so entries sort on RTT only (stable, preserving insertion order on ties).
 _RTT_KEY = itemgetter(0)
+
+#: Sort/search key for (digit, record) row pairs in StaticPrimaryTable.
+_DIGIT_KEY = itemgetter(0)
 
 
 @dataclass
@@ -288,6 +292,55 @@ class NeighborTable:
                 if have < min(self.k, m):
                     slots.append((i, j))
         return slots
+
+
+class StaticPrimaryTable:
+    """An immutable K=1 neighbor table defined by shared row lists.
+
+    The scale-ladder worlds (:mod:`repro.perf.scale`) derive perfectly
+    1-consistent tables straight from the ID trie: entry ``(i, j)`` of
+    any member with prefix ``p`` is a fixed representative of the
+    ``p + j`` subtree.  Members sharing a prefix therefore share row
+    lists — ``rows[i]`` is the fully materialized ``row_primaries(i)``
+    result, ``[(j, record), ...]`` sorted by ``j`` with the owner's own
+    digit already skipped — so a 10k-member world is a few MB instead
+    of 10k full :class:`NeighborTable` objects.
+
+    The class quacks like :class:`NeighborTable` as far as the FORWARD
+    fan-out and the differential oracle read it (``scheme``, ``owner``,
+    ``is_server_table``, ``row_primaries``, ``primary``, ``entry``) and
+    never mutates.
+    """
+
+    def __init__(self, scheme: IdScheme, owner: UserRecord,
+                 rows: "List[List[Tuple[int, UserRecord]]]"):
+        self.scheme = scheme
+        self.owner = owner
+        self.k = 1
+        self._rows = rows
+
+    @property
+    def is_server_table(self) -> bool:
+        return self.owner.user_id.is_null
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._rows)
+
+    def row_primaries(self, i: int) -> List[Tuple[int, UserRecord]]:
+        return self._rows[i]
+
+    def primary(self, i: int, j: int) -> Optional[UserRecord]:
+        """The (i,j)-primary, by binary search over the sorted row."""
+        row = self._rows[i]
+        pos = bisect_left(row, j, key=_DIGIT_KEY)
+        if pos < len(row) and row[pos][0] == j:
+            return row[pos][1]
+        return None
+
+    def entry(self, i: int, j: int) -> List[UserRecord]:
+        record = self.primary(i, j)
+        return [record] if record is not None else []
 
 
 # ----------------------------------------------------------------------

@@ -257,6 +257,16 @@ class SessionResult:
     def out_edges_scan(self, member: Id) -> List[OverlayEdge]:
         return [e for e in self.edges if e.src == member]
 
+    def canonical_receipt_digest(self) -> str:
+        """Hex blake2b over the canonical receipt rows (sorted by packed
+        member code) — the dense-path half of the scale ladder's
+        dense-vs-streaming bitwise equivalence check; see
+        :mod:`repro.compute.arraytable`.  Raises ``ValueError`` for
+        schemes whose IDs don't bit-pack."""
+        from ..compute.arraytable import session_receipt_digest
+
+        return session_receipt_digest(self)
+
     def downstream_users(self, member: Id) -> List[Id]:
         """All members below ``member`` in the session's delivery tree."""
         children: Dict[Id, List[Id]] = {}

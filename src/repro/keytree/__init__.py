@@ -9,6 +9,7 @@ from .original_tree import (
     TreeEncryption,
 )
 from .cluster import ClusterBatchResult, ClusterRekeyingTree, LeaderUnicast
+from .array_store import ArrayClusterStore
 from .recovery import (
     FecDecodeResult,
     FecDecoder,
@@ -41,4 +42,5 @@ __all__ = [
     "ClusterRekeyingTree",
     "ClusterBatchResult",
     "LeaderUnicast",
+    "ArrayClusterStore",
 ]

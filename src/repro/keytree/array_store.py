@@ -1,0 +1,195 @@
+"""Array-backed sharded membership storage for the scale ladder.
+
+:class:`ArrayClusterStore` is the large-N twin of
+:class:`~repro.keytree.cluster.ClusterRekeyingTree`'s membership state:
+members live in flat numpy columns (bit-packed uint64 ID code, join
+clock, alive flag) instead of per-member Python objects, and a shard is
+the set of alive rows sharing a ``shard_depth``-digit prefix code.
+Leadership follows Appendix B exactly — the alive member with the
+earliest join clock leads its shard — so the two implementations stay
+in lockstep under arbitrary join/leave churn, which
+``tests/test_scale_ladder.py`` drives with a hypothesis stateful
+machine asserting :meth:`state_digest` equality after every step.
+
+Rows are append-only (a leave clears the alive flag); capacity doubles
+on demand.  The only per-member Python state is one ``int -> int``
+entry in the row index, which is what keeps a million members in tens
+of MB.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..compute.packing import MASKS, pack_id, scheme_packable
+from ..core.ids import Id, IdScheme
+
+
+class ArrayClusterStore:
+    """Sharded membership + leader election over flat arrays."""
+
+    def __init__(
+        self,
+        scheme: IdScheme,
+        shard_depth: Optional[int] = None,
+        initial_capacity: int = 1024,
+    ):
+        if shard_depth is None:
+            shard_depth = scheme.num_digits - 1
+        if not 1 <= shard_depth <= scheme.num_digits - 1:
+            raise ValueError(
+                f"shard_depth must be in [1, {scheme.num_digits - 1}], "
+                f"got {shard_depth}"
+            )
+        if not scheme_packable(scheme):
+            raise ValueError(
+                f"scheme {scheme} does not bit-pack; the array store "
+                "requires packable IDs"
+            )
+        self.scheme = scheme
+        self.shard_depth = shard_depth
+        self._mask = int(MASKS[shard_depth])
+        capacity = max(1, initial_capacity)
+        self._codes = np.zeros(capacity, dtype=np.uint64)
+        self._clocks = np.zeros(capacity, dtype=np.int64)
+        self._alive = np.zeros(capacity, dtype=bool)
+        self._size = 0  # rows ever appended (dead rows stay in place)
+        self._clock = 0  # the server's logical join clock
+        self._row_of: Dict[int, int] = {}  # alive code -> row
+        self._shard_count: Dict[int, int] = {}  # shard code -> alive members
+        self._shard_leader: Dict[int, int] = {}  # shard code -> leader row
+
+    # ------------------------------------------------------------------
+    @property
+    def num_users(self) -> int:
+        return len(self._row_of)
+
+    @property
+    def num_clusters(self) -> int:
+        return len(self._shard_count)
+
+    def _code_of(self, user_id: Id) -> int:
+        packed = pack_id(user_id)
+        if packed is None:
+            raise ValueError(f"user {user_id} does not bit-pack")
+        return packed[0]
+
+    def _grow(self) -> None:
+        capacity = 2 * len(self._codes)
+        for name in ("_codes", "_clocks", "_alive"):
+            old = getattr(self, name)
+            new = np.zeros(capacity, dtype=old.dtype)
+            new[: self._size] = old[: self._size]
+            setattr(self, name, new)
+
+    # ------------------------------------------------------------------
+    # Membership (mirrors ClusterRekeyingTree.request_join/request_leave)
+    # ------------------------------------------------------------------
+    def request_join(self, user_id: Id) -> bool:
+        """Register a join; returns True iff the user became a shard
+        leader (i.e. the join incurs group rekeying)."""
+        self.scheme.validate_user_id(user_id)
+        code = self._code_of(user_id)
+        self._clock += 1
+        if code in self._row_of:
+            raise ValueError(f"user {user_id} already in cluster")
+        if self._size == len(self._codes):
+            self._grow()
+        row = self._size
+        self._size = row + 1
+        self._codes[row] = code
+        self._clocks[row] = self._clock
+        self._alive[row] = True
+        self._row_of[code] = row
+        shard = code & self._mask
+        count = self._shard_count.get(shard, 0)
+        self._shard_count[shard] = count + 1
+        if count == 0:
+            self._shard_leader[shard] = row
+            return True
+        return False
+
+    def request_leave(self, user_id: Id) -> bool:
+        """Register a leave; returns True iff a leader left (group
+        rekeying required).  Leadership hands off to the alive member
+        with the earliest join clock, exactly as in Appendix B."""
+        code = self._code_of(user_id)
+        row = self._row_of.pop(code, None)
+        if row is None:
+            raise ValueError(f"user {user_id} not in any cluster")
+        self._alive[row] = False
+        shard = code & self._mask
+        count = self._shard_count[shard] - 1
+        was_leader = self._shard_leader[shard] == row
+        if count == 0:
+            del self._shard_count[shard]
+            del self._shard_leader[shard]
+            return was_leader
+        self._shard_count[shard] = count
+        if was_leader:
+            self._shard_leader[shard] = self._elect(shard)
+        return was_leader
+
+    def _elect(self, shard: int) -> int:
+        """Row of the alive member with the earliest clock in a shard."""
+        size = self._size
+        sel = self._alive[:size] & (
+            (self._codes[:size] & np.uint64(self._mask)) == np.uint64(shard)
+        )
+        rows = np.flatnonzero(sel)
+        return int(rows[np.argmin(self._clocks[rows])])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_leader(self, user_id: Id) -> bool:
+        code = self._code_of(user_id)
+        row = self._row_of.get(code)
+        if row is None:
+            return False
+        return self._shard_leader[code & self._mask] == row
+
+    def leaders(self) -> Dict[int, int]:
+        """shard code -> leader's packed member code."""
+        return {
+            shard: int(self._codes[row])
+            for shard, row in self._shard_leader.items()
+        }
+
+    def member_codes(self) -> np.ndarray:
+        """Packed codes of all alive members, in join-clock order."""
+        size = self._size
+        rows = np.flatnonzero(self._alive[:size])
+        return self._codes[rows]  # rows are appended in clock order
+
+    # ------------------------------------------------------------------
+    def state_digest(self) -> str:
+        """Canonical blake2b over the sharded membership state —
+        byte-identical to
+        :meth:`~repro.keytree.cluster.ClusterRekeyingTree.state_digest`
+        over the same join/leave history at the same ``shard_depth``."""
+        size = self._size
+        rows = np.flatnonzero(self._alive[:size])
+        codes = self._codes[rows]
+        clocks = self._clocks[rows]
+        shards = codes & np.uint64(self._mask)
+        order = np.lexsort((clocks, shards))
+        codes = codes[order]
+        shards = shards[order]
+        hasher = hashlib.blake2b(digest_size=16)
+        if len(codes) == 0:
+            return hasher.hexdigest()
+        starts = np.concatenate(
+            ([0], np.flatnonzero(shards[1:] != shards[:-1]) + 1)
+        )
+        bounds = np.append(starts, len(codes))
+        little = codes.astype("<u8")
+        for k in range(len(starts)):
+            lo, hi = int(bounds[k]), int(bounds[k + 1])
+            hasher.update(struct.pack("<QQ", int(shards[lo]), hi - lo))
+            hasher.update(little[lo:hi].tobytes())
+        return hasher.hexdigest()

@@ -72,6 +72,16 @@ class ModifiedKeyTree:
         keys only change at the end of the interval."""
         self.scheme.validate_user_id(user_id)
         if user_id in self._id_tree.user_ids:
+            if user_id in self._pending_leaves:
+                # Rejoin within the interval: the structural leave never
+                # happened, so cancel it — but keep the u-node queued as
+                # changed, which still rotates its whole key path at the
+                # batch (conservatively preserving forward and backward
+                # secrecy for the time it spent outside the group).
+                self._pending_leaves.remove(user_id)
+                if user_id not in self._pending_joins:
+                    self._pending_joins.append(user_id)
+                return
             raise ValueError(f"user {user_id} already in key tree")
         if user_id in self._pending_joins:
             raise ValueError(f"user {user_id} already has a pending join")

@@ -4,6 +4,7 @@ the scheduling seam (:mod:`repro.net.scheduling`) with its standalone
 event-loop backend (:mod:`repro.net.eventloop`)."""
 
 from .topology import Topology, validate_rtt_matrix
+from .synthetic import SyntheticRttTopology
 from .routing import RouterGraph, LinkStressCounter
 from .gtitm import TransitStubTopology, TransitStubParams
 from .planetlab import PlanetLabTopology, MatrixTopology, PAPER_NUM_HOSTS
@@ -25,6 +26,7 @@ __all__ = [
     "GnpEstimatedTopology",
     "GnpModel",
     "fit_gnp",
+    "SyntheticRttTopology",
     "Topology",
     "validate_rtt_matrix",
     "RouterGraph",

@@ -89,6 +89,9 @@ class Workload:
     setup: Callable[[dict], Callable[[], object]]
     group_size: Optional[int] = None
     micro: bool = True  # cheap enough for the regression lane
+    # Too expensive to run implicitly (the 1M rung): baseline and bench
+    # drivers skip it unless named explicitly / opted in via env.
+    optin: bool = False
 
 
 def _group(ctx: dict, num_users: int, seed: int = 20):
@@ -264,6 +267,29 @@ def _setup_rekey_10k_numpy(ctx: dict) -> Callable[[], object]:
     )
 
 
+def _array_world(ctx: dict, num_users: int, seed: int = 20):
+    key = ("array_world", num_users, seed)
+    if key not in ctx:
+        from .scale import build_array_world
+
+        ctx[key] = build_array_world(num_users, seed=seed)
+    return ctx[key]
+
+
+def _setup_stream_rekey_100k(ctx: dict) -> Callable[[], object]:
+    from .scale import run_streaming_rekey
+
+    world = _array_world(ctx, 100_000)
+    return lambda: run_streaming_rekey(world)
+
+
+def _setup_stream_rekey_1m(ctx: dict) -> Callable[[], object]:
+    from .scale import run_streaming_rekey
+
+    world = _array_world(ctx, 1_000_000)
+    return lambda: run_streaming_rekey(world)
+
+
 def _setup_fig7(ctx: dict) -> Callable[[], object]:
     from ..experiments.latency_experiments import run_latency_experiment
 
@@ -315,6 +341,21 @@ WORKLOADS: Dict[str, Workload] = {
             _setup_rekey_10k_numpy,
             group_size=10_000,
             micro=False,
+        ),
+        Workload(
+            "rekey_session_100k_stream",
+            5,
+            _setup_stream_rekey_100k,
+            group_size=100_000,
+            micro=False,
+        ),
+        Workload(
+            "rekey_session_1m_stream",
+            3,
+            _setup_stream_rekey_1m,
+            group_size=1_000_000,
+            micro=False,
+            optin=True,
         ),
         Workload(
             "fig7_experiment", 3, _setup_fig7, group_size=256, micro=False

@@ -31,6 +31,7 @@ _LAZY = {
     "ForwardPrefixChecker": "checkers",
     "KConsistencyChecker": "checkers",
     "KeyIdResolutionChecker": "checkers",
+    "StreamingDeliveryChecker": "checkers",
     "TreeAgreementChecker": "checkers",
     "default_session_checkers": "checkers",
     "DifferentialOracle": "oracle",

@@ -117,6 +117,28 @@ class ForwardPrefixChecker(Checker):
     Under a lossy transport only Lemma 1 (downstream ⇒ prefix sharer)
     remains a theorem — subtrees behind a dropped copy are missing, so
     Lemma 2's converse is checked only when ``lossless=True``.
+
+    Fast path.  The reference sweep below is O(members · edges) for
+    Lemma 1 plus O(members²) for Lemma 2 — fine at the paper's 1024,
+    prohibitive at the scale ladder's 10k rung.  :meth:`check` first
+    tries to *prove the session clean* with vectorized aggregates over
+    bit-packed ID codes (:meth:`_fast_clean`):
+
+    * every delivery-tree edge's child strictly deepens level and shares
+      the parent's level-prefix — by induction along root-to-leaf paths
+      this implies Lemma 1 for every (member, descendant) pair;
+    * per member, the delivery subtree size minus one equals the count
+      of *other* receipt holders sharing its level-prefix — combined
+      with Lemma 1 (inclusion) equal cardinality forces set equality,
+      which is Lemma 2.
+
+    A clean fast verdict is therefore exactly the reference sweep's
+    clean verdict.  Anything else — an aggregate mismatch, unpackable
+    IDs, a member with several delivering edges — falls back to the
+    reference sweep, so violation reports are produced by the original
+    loop and stay message-identical (the same pattern as
+    ``repro.net.topology.validate_rtt_matrix``).  ``force_scan=True``
+    skips the fast path (used by the equivalence tests).
     """
 
     name = "forward-prefix"
@@ -128,7 +150,97 @@ class ForwardPrefixChecker(Checker):
         lossless: bool = True,
         seed: Optional[int] = None,
         repro: Optional[str] = None,
+        force_scan: bool = False,
     ) -> List[ViolationReport]:
+        if not force_scan and self._fast_clean(session, lossless):
+            return []
+        return self._scan(session, lossless, seed, repro)
+
+    def _fast_clean(self, session: SessionResult, lossless: bool) -> bool:
+        """True iff the session is *provably* clean by the vectorized
+        aggregates; False means "run the reference sweep", not "dirty"."""
+        try:
+            import numpy as np
+
+            from ..compute.packing import MASKS, pack_id
+        except ImportError:  # pragma: no cover - numpy is a hard dep
+            return False
+        receipts = session.receipts
+        n = len(receipts)
+        if n == 0:
+            return True
+        members = list(receipts)
+        num_digits = len(members[0].digits)
+        index: Dict[Id, int] = {}
+        codes = np.empty(n, dtype=np.uint64)
+        levels = np.empty(n, dtype=np.int64)
+        for i, member in enumerate(members):
+            packed = pack_id(member)
+            if packed is None or packed[1] != num_digits:
+                return False  # unpackable or ragged lengths: let the sweep decide
+            index[member] = i
+            codes[i] = packed[0]
+            levels[i] = receipts[member].forward_level
+        if levels.min() < 0 or levels.max() > num_digits:
+            return False
+        # Delivery-tree parents, derived from *edges* exactly as the
+        # reference's downstream_users does: an edge is a tree edge iff
+        # it is the receiver's delivering copy.
+        parent = np.full(n, -1, dtype=np.int64)  # -1: no tree parent among members
+        sender = session.sender
+        for e in session.edges:
+            receipt = receipts.get(e.dst)
+            if receipt is None or receipt.upstream != e.src:
+                continue
+            child = index[e.dst]
+            if parent[child] != -1:
+                return False  # several delivering edges: not a tree, sweep decides
+            if e.src == sender:
+                continue  # the sender holds no receipt; no Lemma obligations
+            src = index.get(e.src)
+            if src is None:
+                return False  # tree edge from a non-member non-sender
+            parent[child] = src
+        # Lemma 1, edge-locally: child deepens level and shares the
+        # parent's level-prefix.  Induction extends it to all descendants.
+        child_sel = np.flatnonzero(parent >= 0)
+        if len(child_sel):
+            par = parent[child_sel]
+            deepens = levels[child_sel] > levels[par]
+            shares = ((codes[child_sel] ^ codes[par]) & MASKS[levels[par]]) == 0
+            if not bool(np.all(deepens & shares)):
+                return False
+        if not lossless:
+            return True
+        # Lemma 2: per member, subtree size - 1 == count of other
+        # receipt holders sharing its level-prefix.  Children strictly
+        # deepen levels (checked above), so accumulating in decreasing
+        # level order sees every child before its parent.
+        sizes = np.ones(n, dtype=np.int64)
+        for i in np.argsort(levels, kind="stable")[::-1].tolist():
+            p = parent[i]
+            if p >= 0:
+                sizes[p] += sizes[i]
+        sharers = np.empty(n, dtype=np.int64)
+        for level in np.unique(levels).tolist():
+            sel = np.flatnonzero(levels == level)
+            masked = codes & MASKS[level]
+            ordered = np.sort(masked)
+            own = masked[sel]
+            lo = np.searchsorted(ordered, own, side="left")
+            hi = np.searchsorted(ordered, own, side="right")
+            sharers[sel] = (hi - lo) - 1  # excluding the member itself
+        return bool(np.all(sizes - 1 == sharers))
+
+    def _scan(
+        self,
+        session: SessionResult,
+        lossless: bool,
+        seed: Optional[int],
+        repro: Optional[str],
+    ) -> List[ViolationReport]:
+        """The reference member-by-member sweep; the fast path's dirty
+        verdicts defer here so reports never change wording."""
         reports: List[ViolationReport] = []
         receipts = session.receipts
         for member, receipt in receipts.items():
@@ -307,6 +419,91 @@ class KeyIdResolutionChecker(Checker):
                             repro,
                         )
                     )
+        return reports
+
+
+class StreamingDeliveryChecker(Checker):
+    """Theorem 1 over a streaming rekey session's aggregates.
+
+    The streaming path (:func:`repro.perf.scale.run_streaming_rekey`)
+    never materializes per-member receipts, so the exactly-once claim is
+    checked on its conservation laws: every member accounted for, one
+    delivering edge per receipt, zero duplicates, and per-level receipt
+    counts that sum to the total.  The member-for-member equivalence
+    with the dense path is enforced separately through the canonical
+    receipt digest (:mod:`repro.compute.arraytable`).
+    """
+
+    name = "streaming-delivery"
+    citation = "Theorem 1"
+
+    def check(
+        self,
+        summary,
+        expected_members: Optional[int] = None,
+        seed: Optional[int] = None,
+        repro: Optional[str] = None,
+    ) -> List[ViolationReport]:
+        reports: List[ViolationReport] = []
+        if expected_members is not None and summary.num_members != expected_members:
+            reports.append(
+                self._report(
+                    f"summary covers {summary.num_members} member(s), "
+                    f"expected {expected_members}",
+                    (),
+                    seed,
+                    repro,
+                )
+            )
+        if summary.num_receipts != summary.num_members:
+            reports.append(
+                self._report(
+                    f"{summary.num_receipts} receipt(s) for "
+                    f"{summary.num_members} member(s)",
+                    (),
+                    seed,
+                    repro,
+                )
+            )
+        if summary.num_duplicates:
+            reports.append(
+                self._report(
+                    f"{summary.num_duplicates} duplicate copies delivered",
+                    (),
+                    seed,
+                    repro,
+                )
+            )
+        if summary.num_edges != summary.num_receipts:
+            reports.append(
+                self._report(
+                    f"{summary.num_edges} delivering edge(s) for "
+                    f"{summary.num_receipts} receipt(s)",
+                    (),
+                    seed,
+                    repro,
+                )
+            )
+        if sum(summary.level_counts) != summary.num_receipts:
+            reports.append(
+                self._report(
+                    f"per-level counts sum to {sum(summary.level_counts)}, "
+                    f"not {summary.num_receipts}",
+                    (),
+                    seed,
+                    repro,
+                )
+            )
+        if summary.level_counts and summary.level_counts[0]:
+            reports.append(
+                self._report(
+                    f"{summary.level_counts[0]} receipt(s) at forwarding "
+                    "level 0 (only the sender may sit there)",
+                    (),
+                    seed,
+                    repro,
+                )
+            )
         return reports
 
 

@@ -88,6 +88,7 @@ class VerificationContext:
             ForwardPrefixChecker,
             KConsistencyChecker,
             KeyIdResolutionChecker,
+            StreamingDeliveryChecker,
             TreeAgreementChecker,
         )
         from .oracle import DifferentialOracle
@@ -105,6 +106,7 @@ class VerificationContext:
         self._k_consistency = KConsistencyChecker()
         self._tree_agreement = TreeAgreementChecker()
         self._key_resolution = KeyIdResolutionChecker()
+        self._streaming = StreamingDeliveryChecker()
         self._oracle = (
             DifferentialOracle(time_tolerance) if oracle else None
         )
@@ -171,6 +173,20 @@ class VerificationContext:
                 )
             )
         self._emit(reports, f"session from {session.sender}")
+
+    def observe_streaming(
+        self, summary, expected_members: Optional[int] = None
+    ) -> None:
+        """Check one streaming rekey session's aggregates (the scale
+        ladder's array path, :func:`repro.perf.scale.run_streaming_rekey`)
+        against Theorem 1's conservation laws."""
+        self.sessions_checked += 1
+        reports = self._streaming.check(
+            summary, expected_members, self.seed, self._repro("streaming")
+        )
+        self._emit(
+            reports, f"streaming session of {summary.num_members} member(s)"
+        )
 
     def observe_group(self, group) -> None:
         """Check a :class:`repro.core.membership.Group`'s emergent tables

@@ -1,0 +1,351 @@
+"""The scale-ladder lane (``pytest -q -m scale``; docs/PERFORMANCE.md).
+
+The large-N architecture rests on one claim: the streaming array path —
+on-demand RTT synthesis, bit-packed codes, per-shard rep-chain fan-out,
+array-backed membership — is *bitwise indistinguishable* from the dense
+object path at every size where both can run.  This lane enforces the
+claim three ways:
+
+* property tests hold the array world and the streaming receipt digest
+  equal to the object world and the dense ``SessionResult`` digest over
+  random ``(N, seed)``;
+* a hypothesis stateful machine drives join/leave churn through
+  :class:`~repro.keytree.cluster.ClusterRekeyingTree` and its array twin
+  :class:`~repro.keytree.array_store.ArrayClusterStore` in lockstep,
+  asserting byte-equal membership digests after every step and — after
+  every batch — byte-equal key-tree state and byte-equal
+  ``ReliableOutcome``s between the dense-matrix and synthesized-RTT
+  topologies;
+* the 100k streaming rung runs bounded (well under the lane's 60 s
+  budget) with the :class:`~repro.verify.checkers.
+  StreamingDeliveryChecker` active and no dense matrix materializable.
+
+The 1M rung and the peak-RSS guard live in the bench lane
+(``benchmarks/test_scale_rss.py``).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.alm.reliable import ReliableSession
+from repro.compute.packing import pack_id
+from repro.core.ids import Id, IdScheme
+from repro.core.neighbor_table import (
+    UserRecord,
+    build_consistent_tables,
+    build_server_table,
+)
+from repro.core.tmesh import rekey_session
+from repro.keytree import ArrayClusterStore, ClusterRekeyingTree
+from repro.net.planetlab import MatrixTopology
+from repro.net.synthetic import SyntheticRttTopology
+from repro.perf.scale import (
+    build_array_world,
+    build_scale_world,
+    run_streaming_rekey,
+)
+from repro.verify import (
+    ForwardPrefixChecker,
+    InvariantViolation,
+    StreamingDeliveryChecker,
+    verification,
+)
+
+pytestmark = pytest.mark.scale
+
+
+# ----------------------------------------------------------------------
+# Array world == object world (construction equivalence)
+# ----------------------------------------------------------------------
+@given(
+    st.integers(min_value=1, max_value=512),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_array_world_reproduces_object_world(n, seed):
+    """Identical RNG consumption: packing the object world's IDs in
+    generation order must reproduce the array world's codes exactly,
+    and the coordinate planes must match bitwise."""
+    topology, _, tables = build_scale_world(n, seed=seed)
+    world = build_array_world(n, seed=seed)
+    object_codes = np.array(
+        [pack_id(uid)[0] for uid in tables], dtype=np.uint64
+    )
+    assert np.array_equal(object_codes, world.codes)
+    assert topology.coords.tobytes() == world.topology.coords.tobytes()
+
+
+@given(
+    st.integers(min_value=1, max_value=256),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_streaming_digest_matches_dense_session(n, seed):
+    """The rep-chain streaming fan-out reproduces the dense FORWARD
+    fan-out receipt for receipt: one canonical digest."""
+    topology, server_table, tables = build_scale_world(n, seed=seed)
+    session = rekey_session(server_table, tables, topology)
+    summary = run_streaming_rekey(build_array_world(n, seed=seed))
+    assert session.canonical_receipt_digest() == summary.digest
+    assert summary.num_receipts == len(session.receipts) == n
+    assert summary.num_duplicates == sum(
+        session.duplicate_copies.values()
+    ) == 0
+
+
+@pytest.mark.parametrize("n,seed", [(2048, 20), (4096, 5)])
+def test_streaming_digest_matches_dense_session_large(n, seed):
+    topology, server_table, tables = build_scale_world(n, seed=seed)
+    session = rekey_session(server_table, tables, topology)
+    summary = run_streaming_rekey(build_array_world(n, seed=seed))
+    assert session.canonical_receipt_digest() == summary.digest
+
+
+# ----------------------------------------------------------------------
+# Sharded churn in lockstep (stateful)
+# ----------------------------------------------------------------------
+class ShardedChurnMachine(RuleBasedStateMachine):
+    """Joins, leaves, and batch rekeys through the sharded topology,
+    with the dense-path reference and the array twin in lockstep.
+
+    After every step the two membership representations must render the
+    same canonical digest and the same leader map; after every batch the
+    inner key tree must hold exactly the leaders' paths, and a reliable
+    rekey multicast must produce pickle-equal ``ReliableOutcome``s under
+    the dense RTT matrix and the on-demand synthesized topology."""
+
+    SCHEME = IdScheme(num_digits=3, base=4)
+    NUM_HOSTS = 24  # member hosts 0..22, key server on 23
+
+    def __init__(self):
+        super().__init__()
+        self.tree = ClusterRekeyingTree(self.SCHEME, shard_depth=1)
+        self.store = ArrayClusterStore(
+            self.SCHEME, shard_depth=1, initial_capacity=2
+        )
+        self.present: dict = {}  # uid -> host, insertion order
+        self.free_hosts = list(range(self.NUM_HOSTS - 1))
+        self.lazy = SyntheticRttTopology.seeded(self.NUM_HOSTS, seed=99)
+        self.dense = MatrixTopology(
+            SyntheticRttTopology.seeded(
+                self.NUM_HOSTS, seed=99
+            ).ensure_rtt_matrix()
+        )
+
+    @rule(
+        digits=st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+        )
+    )
+    def join(self, digits):
+        uid = Id(digits)
+        if uid in self.present:
+            # Double joins must be rejected identically.
+            with pytest.raises(ValueError):
+                self.tree.request_join(uid)
+            with pytest.raises(ValueError):
+                self.store.request_join(uid)
+            return
+        if not self.free_hosts:
+            return
+        rekeys_tree = self.tree.request_join(uid)
+        rekeys_store = self.store.request_join(uid)
+        assert rekeys_tree == rekeys_store
+        self.present[uid] = self.free_hosts.pop(0)
+
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def leave(self, index):
+        if not self.present:
+            return
+        uid = list(self.present)[index % len(self.present)]
+        rekeys_tree = self.tree.request_leave(uid)
+        rekeys_store = self.store.request_leave(uid)
+        assert rekeys_tree == rekeys_store
+        self.free_hosts.append(self.present.pop(uid))
+
+    @rule(payload_count=st.integers(min_value=1, max_value=3))
+    def batch(self, payload_count):
+        self.tree.process_batch()
+        # Key-tree state: the inner tree's u-nodes are exactly the
+        # leaders, its k-nodes exactly the leaders' path prefixes.
+        leaders = {members[0] for members in self.tree.shards().values()}
+        assert self.tree.key_tree.user_ids == leaders
+        expected_nodes = {
+            leader.prefix(level)
+            for leader in leaders
+            for level in range(self.SCHEME.num_digits + 1)
+        }
+        assert set(self.tree.key_tree.node_ids()) == expected_nodes
+        if len(self.present) < 2:
+            return
+        # Dense-matrix vs synthesized-RTT reliable rekey: byte-equal.
+        records = [
+            UserRecord(uid, host)
+            for uid, host in sorted(
+                self.present.items(), key=lambda kv: kv[1]
+            )
+        ]
+        payloads = [f"key{i}" for i in range(payload_count)]
+        outcomes = []
+        for topology in (self.dense, self.lazy):
+            tables = build_consistent_tables(
+                self.SCHEME, records, topology.rtt, k=1
+            )
+            server_table = build_server_table(
+                self.SCHEME, self.NUM_HOSTS - 1, records, topology.rtt, k=1
+            )
+            session = ReliableSession(tables, server_table, topology)
+            outcome = session.multicast(payloads)
+            assert outcome.delivery_ratio == 1.0
+            assert outcome.duplicates_surfaced == 0
+            outcomes.append(
+                pickle.dumps(
+                    (
+                        outcome.source,
+                        outcome.payloads,
+                        outcome.delivered,
+                        outcome.missing,
+                        outcome.stats,
+                        outcome.per_node,
+                    )
+                )
+            )
+        assert outcomes[0] == outcomes[1]
+
+    @invariant()
+    def membership_lockstep(self):
+        assert self.tree.state_digest() == self.store.state_digest()
+        tree_leaders = {
+            pack_id(prefix)[0]: pack_id(members[0])[0]
+            for prefix, members in self.tree.shards().items()
+        }
+        assert tree_leaders == self.store.leaders()
+        assert self.tree.num_users == self.store.num_users == len(self.present)
+        assert self.tree.num_clusters == self.store.num_clusters
+
+
+TestShardedChurn = ShardedChurnMachine.TestCase
+
+
+def test_array_store_rejects_unknown_and_duplicate_members():
+    scheme = IdScheme(num_digits=3, base=4)
+    store = ArrayClusterStore(scheme, shard_depth=1, initial_capacity=1)
+    uid = Id([1, 2, 3])
+    with pytest.raises(ValueError, match="not in any cluster"):
+        store.request_leave(uid)
+    assert store.request_join(uid) is True
+    with pytest.raises(ValueError, match="already in cluster"):
+        store.request_join(uid)
+    # Capacity growth from 1 is exercised by a second shard.
+    assert store.request_join(Id([2, 0, 0])) is True
+    assert store.num_users == 2 and store.num_clusters == 2
+
+
+def test_rejoin_within_interval_keeps_cluster_and_tree_consistent():
+    """A member that leaves and rejoins inside one rekey interval used
+    to crash the inner key tree on the leadership hand-off; now the
+    pending leave is cancelled and the path still rotates."""
+    scheme = IdScheme(num_digits=3, base=4)
+    tree = ClusterRekeyingTree(scheme, shard_depth=1)
+    store = ArrayClusterStore(scheme, shard_depth=1)
+    leader, follower = Id([0, 1, 2]), Id([0, 2, 1])
+    for uid in (leader, follower):
+        assert tree.request_join(uid) == store.request_join(uid)
+    # The leader leaves (hand-off to follower), then rejoins, then the
+    # follower leaves (hand-off straight back) — all in one interval.
+    assert tree.request_leave(leader) == store.request_leave(leader) is True
+    assert tree.request_join(leader) == store.request_join(leader) is False
+    assert tree.request_leave(follower) == store.request_leave(follower)
+    assert tree.state_digest() == store.state_digest()
+    tree.process_batch()
+    assert tree.key_tree.user_ids == {leader}
+
+
+# ----------------------------------------------------------------------
+# ForwardPrefixChecker: fast vectorized verdict == scalar sweep
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def verified_scale_session():
+    topology, server_table, tables = build_scale_world(1024, seed=20)
+    return rekey_session(server_table, tables, topology)
+
+
+def test_forward_prefix_fast_path_clean_agrees_with_scan(
+    verified_scale_session,
+):
+    checker = ForwardPrefixChecker()
+    assert checker.check(verified_scale_session) == []
+    assert checker.check(verified_scale_session, force_scan=True) == []
+
+
+def test_forward_prefix_fast_path_dirty_reports_identical():
+    """Tampering must route the fast path to the scalar sweep, so the
+    report strings are the scalar path's, verbatim."""
+    topology, server_table, tables = build_scale_world(256, seed=20)
+    session = rekey_session(server_table, tables, topology)
+    victim = next(
+        member
+        for member, receipt in session.receipts.items()
+        if receipt.forward_level >= 2
+    )
+    session.receipts[victim] = session.receipts[victim]._replace(
+        forward_level=1
+    )
+    checker = ForwardPrefixChecker()
+    fast = checker.check(session)
+    scan = checker.check(session, force_scan=True)
+    assert fast == scan
+    assert fast  # the tampering was detected
+
+
+# ----------------------------------------------------------------------
+# StreamingDeliveryChecker + the 100k rung
+# ----------------------------------------------------------------------
+def test_streaming_checker_flags_corrupt_aggregates():
+    world = build_array_world(512, seed=20)
+    summary = run_streaming_rekey(world)
+    checker = StreamingDeliveryChecker()
+    assert checker.check(summary, expected_members=512) == []
+
+    import dataclasses
+
+    dup = dataclasses.replace(summary, num_duplicates=3)
+    assert any(
+        "duplicate" in r.detail for r in checker.check(dup, 512)
+    )
+    short = dataclasses.replace(summary, num_receipts=511, num_edges=511)
+    assert checker.check(short, 512)
+    wrong_world = checker.check(summary, expected_members=100)
+    assert wrong_world
+
+    with pytest.raises(InvariantViolation):
+        with verification(seed=20) as ctx:
+            ctx.observe_streaming(dup, expected_members=512)
+
+
+def test_streaming_100k_rung_bounded():
+    """The lane's large rung: 100k members, streamed per shard, under
+    an active verification context, with no dense RTT matrix possible."""
+    world = build_array_world(100_000, seed=20)
+    with pytest.raises(RuntimeError, match="max_dense_hosts"):
+        world.topology.ensure_rtt_matrix()
+    with verification(seed=20) as ctx:
+        summary = run_streaming_rekey(world)
+        assert ctx.sessions_checked == 1
+    assert summary.num_members == 100_000
+    assert summary.num_receipts == summary.num_edges == 100_000
+    assert summary.num_duplicates == 0
+    assert summary.num_shards == 8  # SCALE_DIGIT_BOUNDS[0]
+    assert summary.level_counts[0] == 0
+    assert sum(summary.level_counts) == 100_000
+    assert summary.max_arrival > 0.0
+    assert len(summary.digest) == 32  # blake2b-128 hex

@@ -24,6 +24,13 @@ against Section 2.4):
                         every :mod:`repro.compute` backend under full
                         verification, then diffed backend against
                         backend: the bitwise-equivalence contract.
+* ``sharded-scale``   — the 10k rung of the scale ladder under full
+                        verification: the dense object path (trie-derived
+                        tables, differential oracle included) against the
+                        streaming array path, held to one canonical
+                        receipt digest; includes its own corruption
+                        canary (a server table with a dropped row-0
+                        entry MUST trip the checkers at 10k).
 * ``corruption-canary`` — a deliberately corrupted server table; this
                         scenario MUST trip the checkers.  It proves the
                         gate can fail, so a silently broken verification
@@ -259,6 +266,82 @@ def scenario_compute_backends(seed: int, users: int) -> str:
     )
 
 
+def scenario_sharded_scale(seed: int, users: int) -> str:
+    """The 10k rung of the scale ladder under full verification
+    (docs/PERFORMANCE.md, "Scale ladder").
+
+    The dense object path runs a complete verified rekey session —
+    Theorem 1, Lemmas 1-2, *and* the brute-force differential oracle,
+    which until this rung was only exercised up to 1024 users — then the
+    streaming array path replays the same world and the two canonical
+    receipt digests must match bitwise.  A final internal canary proves
+    the checkers still bite at this size: a server table with one row-0
+    entry dropped cuts off a top-level subtree and MUST raise."""
+    from repro.core.neighbor_table import StaticPrimaryTable
+    from repro.perf.scale import (
+        build_array_world,
+        build_scale_world,
+        run_streaming_rekey,
+    )
+    from repro.verify.report import ViolationReport
+
+    size = 10_000
+    repro_cmd = ("PYTHONPATH=src python tools/check_invariants.py "
+                 f"--only sharded-scale --seed {seed}")
+    topology, server_table, tables = build_scale_world(size, seed=seed)
+    with verification(seed=seed) as ctx:
+        session = rekey_session(server_table, tables, topology)
+        dense_digest = session.canonical_receipt_digest()
+        dense_summary = ctx.summary()
+
+    world = build_array_world(size, seed=seed)
+    with verification(seed=seed) as ctx:
+        stream = run_streaming_rekey(world)
+        stream_summary = ctx.summary()
+    if dense_digest != stream.digest:
+        raise InvariantViolation(
+            [
+                ViolationReport(
+                    checker="scale-digest-equivalence",
+                    citation="docs/PERFORMANCE.md (Scale ladder)",
+                    detail=f"dense digest {dense_digest} != streaming "
+                    f"digest {stream.digest} at N={size}",
+                    seed=seed,
+                    repro=repro_cmd,
+                )
+            ]
+        )
+
+    # Internal corruption canary at 10k: drop one row-0 entry from the
+    # server table; the subtree behind it never hears the rekey and the
+    # exactly-once checker must notice.
+    crippled = StaticPrimaryTable(
+        server_table.scheme, server_table.owner,
+        [server_table.row_primaries(0)[1:]],
+    )
+    try:
+        with verification(seed=seed):
+            rekey_session(crippled, tables, topology)
+    except InvariantViolation:
+        pass
+    else:
+        raise InvariantViolation(
+            [
+                ViolationReport(
+                    checker="sharded-scale-canary",
+                    citation="Theorem 1",
+                    detail=f"a dropped server row-0 entry went undetected "
+                    f"at N={size}",
+                    seed=seed,
+                    repro=repro_cmd,
+                )
+            ]
+        )
+    return (f"dense [{dense_summary}] == streaming [{stream_summary}], "
+            f"digest {dense_digest[:12]}..., {stream.num_shards} shard(s), "
+            "canary tripped")
+
+
 def scenario_corruption_canary(seed: int, users: int) -> str:
     """MUST raise: a server table with one entry emptied cuts off a
     level-1 subtree, violating Theorem 1 on the next multicast."""
@@ -293,6 +376,7 @@ SCENARIOS = [
     ("distributed", scenario_distributed, False),
     ("traced-rekey", scenario_traced_rekey, False),
     ("compute-backends", scenario_compute_backends, False),
+    ("sharded-scale", scenario_sharded_scale, False),
     ("corruption-canary", scenario_corruption_canary, True),
 ]
 

@@ -144,6 +144,13 @@ def main(argv=None) -> int:
         help="JSON file of pre-optimization medians to use instead of the "
         "embedded baseline (ignored with --pre-tree)",
     )
+    parser.add_argument(
+        "--rss",
+        action="store_true",
+        help="also measure each workload's peak RSS in a fresh child "
+        "process (one setup + one run) and record it as an 'rss' column; "
+        "benchmarks/test_scale_rss.py guards these against BENCH_PR9.json",
+    )
     args = parser.parse_args(argv)
 
     pre_static = dict(PRE_PR_BASELINE)
@@ -154,7 +161,11 @@ def main(argv=None) -> int:
     if args.only and args.output.exists():
         previous_ops = json.loads(args.output.read_text()).get("ops", {})
 
-    names = list(WORKLOADS) if not args.only else list(args.only)
+    if args.only:
+        names = list(args.only)
+    else:
+        # Opt-in workloads (the 1M rung) only run when named explicitly.
+        names = [n for n, w in WORKLOADS.items() if not w.optin]
     unknown = [n for n in names if n not in WORKLOADS]
     if unknown:
         parser.error(f"unknown workloads: {unknown} (have {list(WORKLOADS)})")
@@ -189,12 +200,22 @@ def main(argv=None) -> int:
             }
             if pre:
                 entry["speedup"] = pre["median_ms"] / post["median_ms"]
+            if args.rss:
+                from repro.perf.rss import measure_peak_rss
+
+                record = measure_peak_rss(name)
+                entry["rss"] = {"peak_rss_bytes": record["peak_rss_bytes"]}
             ops[name] = entry
             speedup = entry.get("speedup")
+            rss_note = ""
+            if "rss" in entry:
+                mib = entry["rss"]["peak_rss_bytes"] / (1024 * 1024)
+                rss_note = f"   rss {mib:8.1f} MiB"
             print(
                 f"{name:28s} post {post['median_ms']:10.3f} ms"
                 + (f"   pre {pre['median_ms']:10.3f} ms" if pre else "")
                 + (f"   speedup {speedup:5.2f}x" if speedup else "")
+                + rss_note
             )
 
         calibration, _ = post_worker.ask("calibrate")
