@@ -272,3 +272,62 @@ FORK_BOUNDARY_MODULES = frozenset(
         "repro/verify/report.py",
     }
 )
+
+# ----------------------------------------------------------------------
+# Flow rules (CFG + dataflow — repro.lint.flow, docs/STATIC_ANALYSIS.md
+# "Flow rules")
+# ----------------------------------------------------------------------
+
+#: relpath prefixes the await-interleaving race detector covers: the
+#: live asyncio layer plus the deterministic event loop its scheduler
+#: conformance tests run against.  Coroutines elsewhere (wire helpers,
+#: test scaffolding) do not share mutable ``self`` state across task
+#: interleavings, so the rule stays scoped to where a stale read is a
+#: protocol bug.
+FLOW_RACE_PATHS: tuple[str, ...] = (
+    "repro/service/",
+    "repro/net/eventloop.py",
+)
+
+#: relpath prefixes the resource-leak rule covers: the layer that opens
+#: real sockets/streams.  Simulation transports hold no OS handles.
+FLOW_RESOURCE_PATHS: tuple[str, ...] = ("repro/service/",)
+
+#: Dotted call names (flattened) that acquire an OS-backed handle the
+#: flow-resource-leak rule must see released on every CFG exit path.
+FLOW_RESOURCE_ACQUIRERS = frozenset(
+    {
+        "asyncio.open_connection",
+        "asyncio.start_server",
+        "socket.socket",
+        "socket.create_connection",
+        "open",
+    }
+)
+
+#: Method names that count as releasing a handle (direct calls on the
+#: bound name).  ``async with`` / ``with`` binding releases implicitly
+#: and is exempted structurally by the rule.
+FLOW_RESOURCE_RELEASERS = frozenset(
+    {"close", "wait_closed", "aclose", "shutdown", "abort"}
+)
+
+#: Call names that legitimately consume a coroutine object without an
+#: inline ``await``: task spawners and aggregators.  A coroutine value
+#: that reaches none of these and no ``await`` on any CFG path is
+#: silently dropped — it never runs.
+FLOW_COROUTINE_SINKS = frozenset(
+    {
+        "asyncio.create_task",
+        "asyncio.ensure_future",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.shield",
+        "asyncio.run",
+        "asyncio.run_coroutine_threadsafe",
+        "create_task",
+        "ensure_future",
+        "gather",
+    }
+)

@@ -73,9 +73,18 @@ class LintEngine:
         self,
         roots: Sequence[Path],
         rules: Sequence[Rule] | None = None,
+        only: Sequence[Path] | None = None,
     ) -> None:
         self.roots = [Path(root) for root in roots]
         self.rules: list[Rule] = list(rules) if rules is not None else all_rules()
+        #: When set, restrict the scan to these files (resolved paths) —
+        #: the ``tools/lint.py --changed`` diff-scoped mode.  Files
+        #: outside the roots are simply never reached.
+        self.only: frozenset[Path] | None = (
+            frozenset(Path(p).resolve() for p in only)
+            if only is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     def iter_modules(self) -> Iterator[ModuleInfo | LintViolation]:
@@ -84,6 +93,8 @@ class LintEngine:
         diagnosing)."""
         for root in self.roots:
             for path in iter_source_files(root):
+                if self.only is not None and path.resolve() not in self.only:
+                    continue
                 try:
                     yield ModuleInfo.parse(path, root)
                 except SyntaxError as exc:

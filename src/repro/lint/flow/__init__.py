@@ -1,0 +1,30 @@
+"""Flow-sensitive analysis for ``repro.lint``.
+
+The statement rules in :mod:`repro.lint.rules` see one AST node at a
+time; this subpackage adds the machinery to reason about *paths*:
+
+* :mod:`repro.lint.flow.cfg` — per-function control-flow graphs with
+  await points as explicit nodes;
+* :mod:`repro.lint.flow.dataflow` — reaching definitions, the
+  await-crossing variant the race detector uses, and def-use helpers;
+* :mod:`repro.lint.flow.rules_flow` — the ``flow`` rule family built on
+  top, registered alongside the statement rules in
+  :func:`repro.lint.rules.all_rules`.
+
+Like the rest of the lint package it imports nothing from the wider
+``repro`` tree (DESIGN.md layering: the linter analyses without
+importing).
+"""
+
+from .cfg import CFG, Access, CFGNode, build_cfg
+from .dataflow import AwaitCrossing, Definition, ReachingDefinitions
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "Access",
+    "AwaitCrossing",
+    "Definition",
+    "ReachingDefinitions",
+    "build_cfg",
+]

@@ -1,0 +1,537 @@
+"""The ``flow`` rule family: dataflow-backed checks over per-function
+CFGs.
+
+Four rules, all driven by the same cached per-module analysis:
+
+``flow-await-race``
+    in ``repro.service`` / ``repro.net.eventloop`` coroutines, a read of
+    ``self.*`` state whose reaching write happened before an ``await``
+    — with no re-validation (test read) in between — observes a value
+    other tasks may have changed during the suspension.  The static
+    twin of the quiescence tracking ``AsyncioScheduler`` does at
+    runtime.
+``flow-dropped-coroutine``
+    a call to a same-module ``async def`` whose coroutine object never
+    reaches an ``await`` or task sink on any path: the body silently
+    never runs.
+``flow-seed-taint``
+    an RNG constructor in a protocol package whose seed argument
+    resolves — through the def-use chain — to ``None``: the stream
+    would come from OS entropy, which the statement-level rules cannot
+    see across assignments.
+``flow-resource-leak``
+    a stream/socket acquired in ``repro.service`` that can reach the
+    function exit with no ``close()`` (and no escape to an owner that
+    could close it) on some path.
+
+Rules here stay deliberately *precise over complete*: every heuristic
+(escape analysis, same-module-only coroutine resolution, self-attr
+scoping) errs toward silence, because a noisy commit gate gets
+suppressed wholesale and then catches nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .. import config
+from ..modules import ModuleInfo, flatten_attribute
+from ..rules import Rule
+from ..violations import LintViolation
+from .cfg import CFG, WRITE, FunctionNode, build_cfg
+from .dataflow import (
+    SEED_NONE,
+    AwaitCrossing,
+    Definition,
+    ReachingDefinitions,
+    classify_seed_expr,
+    reachable_without,
+)
+
+
+def _own_walk(func: FunctionNode) -> Iterator[ast.AST]:
+    """Walk a function's own body, not descending into nested
+    function/lambda bodies (those are analysed separately)."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_static(func: FunctionNode) -> bool:
+    for decorator in func.decorator_list:
+        if flatten_attribute(decorator) == "staticmethod":
+            return True
+    return False
+
+
+class FunctionAnalysis:
+    """One function with its lazily-built CFG and dataflow results."""
+
+    def __init__(
+        self,
+        func: FunctionNode,
+        self_name: Optional[str],
+        class_name: Optional[str],
+    ) -> None:
+        self.func = func
+        self.self_name = self_name
+        self.class_name = class_name
+        self._cfg: Optional[CFG] = None
+        self._rd: Optional[ReachingDefinitions] = None
+        self._crossing: Optional[AwaitCrossing] = None
+        self._parents: Optional[Dict[int, ast.AST]] = None
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.func, ast.AsyncFunctionDef)
+
+    @property
+    def cfg(self) -> CFG:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.func, self.self_name)
+        return self._cfg
+
+    @property
+    def rd(self) -> ReachingDefinitions:
+        if self._rd is None:
+            self._rd = ReachingDefinitions(self.cfg)
+        return self._rd
+
+    @property
+    def crossing(self) -> AwaitCrossing:
+        if self._crossing is None:
+            self._crossing = AwaitCrossing(self.cfg, self.rd)
+        return self._crossing
+
+    @property
+    def parents(self) -> Dict[int, ast.AST]:
+        """``id(child) -> parent`` over the whole function subtree."""
+        if self._parents is None:
+            parents: Dict[int, ast.AST] = {}
+            for parent in ast.walk(self.func):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            self._parents = parents
+        return self._parents
+
+    def enclosing_stmt(self, node: ast.AST) -> Optional[ast.stmt]:
+        current: Optional[ast.AST] = node
+        while current is not None and not isinstance(current, ast.stmt):
+            current = self.parents.get(id(current))
+        return current if isinstance(current, ast.stmt) else None
+
+    def cfg_node_of(self, stmt: ast.stmt) -> Optional[int]:
+        """The first CFG node lowered from ``stmt`` — the one carrying
+        its reads, whose IN set is the dataflow state the statement's
+        expressions observe."""
+        for node in self.cfg.nodes:
+            if node.stmt is stmt:
+                return node.index
+        return None
+
+
+class ModuleAnalysis:
+    """All functions of a module with their class context, plus the
+    async-name tables the coroutine rule resolves calls against."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        self.functions: List[FunctionAnalysis] = []
+        #: Names of ``async def``s outside any class (module level or
+        #: nested in functions) — resolvable via bare ``name(...)``.
+        self.plain_async: Set[str] = set()
+        #: class name -> its ``async def`` method names — resolvable via
+        #: ``self.name(...)`` inside that class.
+        self.class_async: Dict[str, Set[str]] = {}
+        self._walk(module.tree.body, None)
+
+    def _walk(self, stmts: List[ast.stmt], class_name: Optional[str]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self_name: Optional[str] = None
+                if class_name is not None and not _is_static(stmt):
+                    positional = list(stmt.args.posonlyargs) + list(
+                        stmt.args.args
+                    )
+                    if positional:
+                        self_name = positional[0].arg
+                self.functions.append(
+                    FunctionAnalysis(stmt, self_name, class_name)
+                )
+                if isinstance(stmt, ast.AsyncFunctionDef):
+                    if class_name is None:
+                        self.plain_async.add(stmt.name)
+                    else:
+                        self.class_async.setdefault(class_name, set()).add(
+                            stmt.name
+                        )
+                self._walk(stmt.body, None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._walk(stmt.body, stmt.name)
+
+    def resolve_async_call(
+        self, call: ast.Call, fn: FunctionAnalysis
+    ) -> Optional[str]:
+        """The display name of the same-module coroutine this call
+        creates, or ``None`` when the callee is unknown/sync."""
+        target = call.func
+        if isinstance(target, ast.Name) and target.id in self.plain_async:
+            return target.id
+        if (
+            isinstance(target, ast.Attribute)
+            and fn.class_name is not None
+            and fn.self_name is not None
+            and isinstance(target.value, ast.Name)
+            and target.value.id == fn.self_name
+            and target.attr in self.class_async.get(fn.class_name, set())
+        ):
+            return f"{fn.self_name}.{target.attr}"
+        return None
+
+
+#: Single-slot per-module cache.  The engine runs every rule against one
+#: module before moving to the next, so the four flow rules share one
+#: ModuleAnalysis build without the cache ever holding more than the
+#: current module.
+_CACHE: List[object] = [None, None]
+
+
+def analyze(module: ModuleInfo) -> ModuleAnalysis:
+    if _CACHE[0] is module:
+        cached = _CACHE[1]
+        assert isinstance(cached, ModuleAnalysis)
+        return cached
+    analysis = ModuleAnalysis(module)
+    _CACHE[0] = module
+    _CACHE[1] = analysis
+    return analysis
+
+
+# ----------------------------------------------------------------------
+# flow-await-race
+# ----------------------------------------------------------------------
+class AwaitInterleavingRaceRule(Rule):
+    """``self.*`` written, ``await``, dependent read — with no
+    re-validation in between."""
+
+    rule_id = "flow-await-race"
+    family = "flow"
+    citation = "docs/SERVICE.md"
+    description = (
+        "coroutine reads self.* state written before an await without "
+        "re-validating it after the suspension; other tasks may have "
+        "changed it while this one was parked"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if not module.relpath.startswith(config.FLOW_RACE_PATHS):
+            return
+        for fn in analyze(module).functions:
+            if not fn.is_async or fn.self_name is None:
+                continue
+            cfg = fn.cfg
+            awaits = cfg.await_nodes()
+            if not awaits:
+                continue
+            crossing = fn.crossing
+            reported: Set[Tuple[str, int]] = set()
+            for node in cfg.nodes:
+                for access in node.reads:
+                    if not access.is_self or access.is_test:
+                        continue
+                    stale = [
+                        definition
+                        for definition in crossing.stale_defs(
+                            node.index, access.name
+                        )
+                        if definition.access.kind == WRITE
+                    ]
+                    if not stale:
+                        continue
+                    key = (access.name, id(access.node))
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    write = stale[0]
+                    write_line = getattr(write.access.node, "lineno", "?")
+                    between = [
+                        a.stmt.lineno
+                        for a in awaits
+                        if a.stmt is not None
+                        and hasattr(a.stmt, "lineno")
+                        and reachable_without(cfg, write.node, set(), a.index)
+                        and reachable_without(cfg, a.index, set(), node.index)
+                    ]
+                    suspension = (
+                        f" (suspension at line {min(between)})"
+                        if between
+                        else ""
+                    )
+                    yield self.violation(
+                        module,
+                        access.node,
+                        f"{access.name} may be stale: written at line "
+                        f"{write_line}, then an await let other tasks "
+                        f"interleave before this read{suspension}; "
+                        "re-validate or recompute it after resuming",
+                    )
+
+
+# ----------------------------------------------------------------------
+# flow-dropped-coroutine
+# ----------------------------------------------------------------------
+class DroppedCoroutineRule(Rule):
+    """A same-module coroutine call whose value never reaches an await
+    or task sink."""
+
+    rule_id = "flow-dropped-coroutine"
+    family = "flow"
+    citation = "docs/SERVICE.md"
+    description = (
+        "calling an async def creates a coroutine object; unless it is "
+        "awaited or handed to a task sink on some path, its body never "
+        "runs"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        analysis = analyze(module)
+        if not analysis.plain_async and not analysis.class_async:
+            return
+        for fn in analysis.functions:
+            for node in _own_walk(fn.func):
+                # Case 1: bare expression statement — the coroutine is
+                # created and immediately dropped.
+                if isinstance(node, ast.Expr) and isinstance(
+                    node.value, ast.Call
+                ):
+                    name = analysis.resolve_async_call(node.value, fn)
+                    if name is not None:
+                        yield self.violation(
+                            module,
+                            node,
+                            f"coroutine {name}(...) is created but never "
+                            "awaited — the call returns a coroutine "
+                            "object, it does not run the body; await it "
+                            "or hand it to a task sink",
+                        )
+                    continue
+                # Case 2: assigned to a local that is never read on any
+                # path.
+                if (
+                    isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    name = analysis.resolve_async_call(node.value, fn)
+                    if name is None:
+                        continue
+                    target = node.targets[0]
+                    definition = self._definition_of(fn, target)
+                    if definition is None:
+                        continue
+                    if not fn.rd.uses_of(definition):
+                        yield self.violation(
+                            module,
+                            node,
+                            f"coroutine {name}(...) is bound to "
+                            f"'{target.id}' but never awaited or passed "
+                            "on any path — its body never runs",
+                        )
+
+    @staticmethod
+    def _definition_of(
+        fn: FunctionAnalysis, target: ast.Name
+    ) -> Optional[Definition]:
+        for cfg_node, access in fn.cfg.accesses():
+            if access.kind == WRITE and access.node is target:
+                return Definition(access.name, cfg_node.index, access)
+        return None
+
+
+# ----------------------------------------------------------------------
+# flow-seed-taint
+# ----------------------------------------------------------------------
+class SeedTaintRule(Rule):
+    """RNG constructed from a seed that def-use resolves to ``None``."""
+
+    rule_id = "flow-seed-taint"
+    family = "flow"
+    citation = "docs/VERIFY.md"
+    description = (
+        "RNG constructors in protocol packages must be seeded: a seed "
+        "argument that resolves to None through the def-use chain means "
+        "the stream comes from OS entropy and replays diverge"
+    )
+
+    #: ``service`` joins the protocol packages here: its scheduler seeds
+    #: backend-local RNGs that feed protocol timers.
+    _PACKAGES = config.PROTOCOL_PACKAGES | frozenset({"service"})
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if module.package not in self._PACKAGES:
+            return
+        for fn in analyze(module).functions:
+            for node in _own_walk(fn.func):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = flatten_attribute(node.func)
+                if name not in config.RNG_CONSTRUCTORS:
+                    continue
+                seed = self._seed_argument(node)
+                if seed is None:
+                    # Argument-less constructors are the statement-level
+                    # determinism rules' territory.
+                    continue
+                stmt = fn.enclosing_stmt(node)
+                if stmt is None:
+                    continue
+                at_node = fn.cfg_node_of(stmt)
+                if at_node is None:
+                    continue
+                verdict = classify_seed_expr(seed, at_node, fn.rd)
+                if verdict == SEED_NONE:
+                    yield self.violation(
+                        module,
+                        node,
+                        f"{name}() receives a seed that resolves to "
+                        "None along the def-use chain — the generator "
+                        "would seed from OS entropy; derive the seed "
+                        "from a function parameter or a non-None "
+                        "constant",
+                    )
+
+    @staticmethod
+    def _seed_argument(call: ast.Call) -> Optional[ast.expr]:
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "seed":
+                return keyword.value
+        return None
+
+
+# ----------------------------------------------------------------------
+# flow-resource-leak
+# ----------------------------------------------------------------------
+class ResourceLeakRule(Rule):
+    """A stream/socket handle that can reach the function exit live and
+    unreleased."""
+
+    rule_id = "flow-resource-leak"
+    family = "flow"
+    citation = "docs/SERVICE.md"
+    description = (
+        "streams and sockets acquired in the service layer must be "
+        "closed (or escape to an owner) on every path out of the "
+        "function; prefer async with"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[LintViolation]:
+        if not module.relpath.startswith(config.FLOW_RESOURCE_PATHS):
+            return
+        for fn in analyze(module).functions:
+            for node in _own_walk(fn.func):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                value = node.value
+                call = value.value if isinstance(value, ast.Await) else value
+                if not isinstance(call, ast.Call):
+                    continue
+                name = flatten_attribute(call.func)
+                if name not in config.FLOW_RESOURCE_ACQUIRERS:
+                    continue
+                handle = self._handle_target(node.targets[0])
+                if handle is None:
+                    continue
+                violation = self._check_handle(module, fn, node, call, handle)
+                if violation is not None:
+                    yield violation
+
+    @staticmethod
+    def _handle_target(target: ast.expr) -> Optional[ast.Name]:
+        """The name to track: the (single) target, or the *last* element
+        of a tuple unpack — ``reader, writer = await open_connection()``
+        closes through ``writer``.  Handles stored onto ``self`` outlive
+        the function and are out of scope."""
+        if isinstance(target, ast.Name):
+            return target
+        if isinstance(target, (ast.Tuple, ast.List)) and target.elts:
+            last = target.elts[-1]
+            if isinstance(last, ast.Name):
+                return last
+        return None
+
+    def _check_handle(
+        self,
+        module: ModuleInfo,
+        fn: FunctionAnalysis,
+        assign: ast.Assign,
+        call: ast.Call,
+        handle: ast.Name,
+    ) -> Optional[LintViolation]:
+        cfg = fn.cfg
+        def_index: Optional[int] = None
+        blocked: Set[int] = set()
+        for cfg_node, access in cfg.accesses():
+            if access.name != handle.id:
+                continue
+            if access.kind == WRITE:
+                if access.node is handle:
+                    def_index = cfg_node.index
+                else:
+                    # Rebinding orphans the handle; past this point the
+                    # name no longer tracks it — stop following.
+                    blocked.add(cfg_node.index)
+                continue
+            use = self._classify_use(access.node, fn)
+            if use in ("release", "escape"):
+                blocked.add(cfg_node.index)
+        if def_index is None:
+            return None
+        if reachable_without(cfg, def_index, blocked, cfg.exit):
+            return self.violation(
+                module,
+                assign,
+                f"'{handle.id}' ({flatten_attribute(call.func)}) can "
+                "reach the function exit without close()/wait_closed() "
+                "and without escaping to an owner; close it on every "
+                "path (try/finally) or use async with",
+            )
+        return None
+
+    @staticmethod
+    def _classify_use(name_node: ast.AST, fn: FunctionAnalysis) -> str:
+        """``"release"`` (a close-family method call), ``"escape"``
+        (passed/returned/stored — someone else owns it now), or
+        ``"use"`` (plain method call / attribute read — the handle is
+        still ours to close)."""
+        parent = fn.parents.get(id(name_node))
+        if isinstance(parent, ast.Attribute):
+            grandparent = fn.parents.get(id(parent))
+            if isinstance(grandparent, ast.Call) and grandparent.func is parent:
+                if parent.attr in config.FLOW_RESOURCE_RELEASERS:
+                    return "release"
+            return "use"
+        if isinstance(parent, ast.withitem):
+            # ``(async) with handle:`` — __exit__ releases it.
+            return "release"
+        if isinstance(parent, ast.Call):
+            return "escape"
+        if isinstance(parent, ast.keyword):
+            return "escape"
+        if isinstance(
+            parent,
+            (ast.Return, ast.Yield, ast.YieldFrom, ast.Starred),
+        ):
+            return "escape"
+        if isinstance(parent, (ast.Tuple, ast.List, ast.Set, ast.Dict)):
+            return "escape"
+        if isinstance(parent, ast.Assign) and parent.value is name_node:
+            return "escape"
+        return "use"

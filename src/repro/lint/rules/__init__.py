@@ -17,7 +17,11 @@ hygiene:
     picklability and ``__slots__`` across the ``ParallelRunner`` fork
     boundary (docs/PERFORMANCE.md);
 ``api``
-    mutable default arguments, bare ``except``.
+    mutable default arguments, bare ``except``;
+``flow``
+    the CFG/dataflow rules of :mod:`repro.lint.flow` — await-
+    interleaving races, dropped coroutines, RNG seed taint, and
+    resource leaks (docs/STATIC_ANALYSIS.md "Flow rules").
 """
 
 from __future__ import annotations
@@ -74,6 +78,12 @@ def all_rules() -> list[Rule]:
     from .hookdiscipline import HookEagerImportRule, HookUnguardedRule
     from .hygiene import BareExceptRule, MutableDefaultRule
     from .layering import LayeringImportRule
+    from ..flow.rules_flow import (
+        AwaitInterleavingRaceRule,
+        DroppedCoroutineRule,
+        ResourceLeakRule,
+        SeedTaintRule,
+    )
 
     rules: list[Rule] = [
         WallClockRule(),
@@ -88,6 +98,10 @@ def all_rules() -> list[Rule]:
         ForkSlotsRule(),
         MutableDefaultRule(),
         BareExceptRule(),
+        AwaitInterleavingRaceRule(),
+        DroppedCoroutineRule(),
+        SeedTaintRule(),
+        ResourceLeakRule(),
     ]
     return sorted(rules, key=lambda rule: rule.rule_id)
 

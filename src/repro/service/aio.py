@@ -231,6 +231,7 @@ class AsyncioScheduler:
                 if until is not None and head.when > until:
                     break
                 if self.realtime:
+                    # lint: disable=flow-await-race -- single-drain invariant: the _draining guard makes this coroutine the only writer of _wall_start until the finally reset, so it cannot change across the pacing awaits
                     target = self._wall_start + head.when * self.time_scale
                     delay = target - self._loop.time()
                     if delay > 0:

@@ -1,0 +1,12 @@
+"""Canary: RNG seed that def-use resolves to None (flow-seed-taint)."""
+
+import numpy as np
+
+
+def make_stream(shards: int):
+    seed = None
+    stream_seed = seed
+    # The statement rules cannot see through the copy chain; the flow
+    # rule resolves stream_seed -> seed -> None.
+    rng = np.random.default_rng(stream_seed)
+    return [rng.integers(0, 1 << 32) for _ in range(shards)]

@@ -1,0 +1,16 @@
+"""Canary: self state read across an await with no re-validation
+(flow-await-race)."""
+
+import asyncio
+
+
+class Pacer:
+    def __init__(self, scale: float):
+        self._origin = 0.0
+        self._scale = scale
+
+    async def pace(self, when: float) -> float:
+        self._origin = when * self._scale
+        await asyncio.sleep(0)
+        # Stale: another task may have rebased _origin during the sleep.
+        return self._origin + when

@@ -1,0 +1,18 @@
+"""Canary: coroutine created but never awaited (flow-dropped-coroutine)."""
+
+
+async def flush(queue) -> None:
+    while queue:
+        queue.pop()
+
+
+class Hub:
+    async def _notify(self, member) -> None:
+        pass
+
+    def on_join(self, member, queue) -> None:
+        # Both bodies silently never run: the calls return coroutine
+        # objects that nothing awaits or schedules.
+        self._notify(member)
+        pending = flush(queue)
+        del pending

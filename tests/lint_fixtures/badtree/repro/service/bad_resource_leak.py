@@ -1,0 +1,15 @@
+"""Canary: stream acquired with a close-free exit path
+(flow-resource-leak)."""
+
+import asyncio
+
+
+async def probe(host: str, port: int) -> bytes | None:
+    reader, writer = await asyncio.open_connection(host, port)
+    banner = await reader.read(64)
+    if not banner:
+        # Leak: this early return drops the writer without close().
+        return None
+    writer.close()
+    await writer.wait_closed()
+    return banner

@@ -1,0 +1,15 @@
+"""Near-miss for flow-seed-taint: seeds that flow from parameters or
+constants through copy chains are sanctioned."""
+
+import numpy as np
+
+
+def make_stream(seed: int, shard: int):
+    base = seed
+    stream_seed = base + shard
+    return np.random.default_rng(stream_seed)
+
+
+def fixed_stream():
+    replay_seed = 0x5EED
+    return np.random.default_rng(replay_seed)

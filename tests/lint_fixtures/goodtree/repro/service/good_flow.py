@@ -1,0 +1,47 @@
+"""Near-misses for the flow family: the sanctioned idioms one edit away
+from the badtree patterns — none of these may fire."""
+
+import asyncio
+
+
+class Pacer:
+    def __init__(self, scale: float):
+        self._origin = 0.0
+        self._scale = scale
+
+    async def pace(self, when: float) -> float:
+        self._origin = when * self._scale
+        await asyncio.sleep(0)
+        # Re-validated after the suspension: the test read re-observes
+        # _origin before the dependent read, so nothing is stale.
+        if self._origin:
+            return self._origin + when
+        return when
+
+
+class Hub:
+    async def _notify(self, member) -> None:
+        pass
+
+    def on_join(self, member) -> None:
+        # Handed to a task sink: the coroutine runs.
+        asyncio.ensure_future(self._notify(member))
+
+    async def broadcast(self, members) -> None:
+        pending = [self._notify(member) for member in members]
+        await asyncio.gather(*pending)
+
+
+async def probe(host: str, port: int) -> bytes:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        return await reader.read(64)
+    finally:
+        # Closed on every exit path, including the return above.
+        writer.close()
+
+
+async def serve(handler, port: int) -> None:
+    server = await asyncio.start_server(handler, port=port)
+    async with server:
+        await server.serve_forever()

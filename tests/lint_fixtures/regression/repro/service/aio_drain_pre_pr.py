@@ -1,0 +1,39 @@
+"""The ``AsyncioScheduler.drain`` realtime-pacing pattern, distilled.
+
+This is the one true finding the await-interleaving race detector
+surfaced on the shipped tree (``src/repro/service/aio.py``): the drain
+writes ``self._wall_start`` once before its loop, then reads it after
+pacing awaits without re-validating.  In the real scheduler the
+``_draining`` re-entry guard makes the coroutine the sole writer, so the
+finding is justify-suppressed in place — but the *shape* is exactly the
+bug class the rule exists for: drop the guard (or add a second drain)
+and the rebased ``_wall_start`` silently skews every subsequent timer.
+
+The regression test asserts a fresh lint run over this pre-suppression
+replica flags the stale read — i.e. the detector would have caught the
+pattern had the invariant not held.
+"""
+
+import asyncio
+from typing import Optional
+
+
+class DrainPacer:
+    def __init__(self, time_scale: float):
+        self.now = 0.0
+        self.time_scale = time_scale
+        self._wall_start: Optional[float] = None
+
+    async def drain(self, loop, heap) -> int:
+        self._wall_start = loop.time() - self.now * self.time_scale
+        executed = 0
+        while heap:
+            head = heap[0]
+            target = self._wall_start + head.when * self.time_scale
+            delay = target - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+                continue
+            heap.pop(0)
+            executed += 1
+        return executed

@@ -220,7 +220,7 @@ def test_cli_shipped_tree_is_clean():
 
 
 @pytest.mark.parametrize(
-    "family", ["determinism", "hooks", "layering", "fork", "api"]
+    "family", ["determinism", "hooks", "layering", "fork", "api", "flow"]
 )
 def test_cli_badtree_fails_per_family(family):
     """Exit 2 on the bad-fixture canaries, one run per rule family."""
@@ -258,3 +258,70 @@ def test_cli_list_rules():
 def test_cli_unknown_rule_is_usage_error():
     result = run_cli("--rules", "no-such-rule")
     assert result.returncode == 1
+
+
+# ----------------------------------------------------------------------
+# --format=sarif and --changed (ISSUE 10 satellites)
+# ----------------------------------------------------------------------
+def test_cli_sarif_output_is_valid_and_gates():
+    result = run_cli(FIXTURES / "badtree", "--no-baseline", "--format=sarif")
+    assert result.returncode == 2  # exit codes unchanged by the format
+    payload = json.loads(result.stdout)
+    assert payload["version"] == "2.1.0"
+    run = payload["runs"][0]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-lint"
+    declared = {rule["id"] for rule in driver["rules"]}
+    assert {rule.rule_id for rule in all_rules()} <= declared
+    fired = {res["ruleId"] for res in run["results"]}
+    assert "determinism-wall-clock" in fired
+    assert "flow-await-race" in fired
+    location = run["results"][0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith(".py")
+    assert location["region"]["startLine"] >= 1
+
+
+def test_cli_sarif_clean_tree_has_empty_results():
+    result = run_cli(FIXTURES / "goodtree", "--no-baseline", "--format=sarif")
+    assert result.returncode == 0
+    payload = json.loads(result.stdout)
+    assert payload["runs"][0]["results"] == []
+
+
+def _git(*args: str, cwd: Path) -> None:
+    subprocess.run(
+        ["git", "-c", "user.name=lint-test", "-c", "user.email=lint@test",
+         *args],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_cli_changed_scopes_to_the_git_diff(tmp_path):
+    """--changed lints exactly the files git reports as modified or
+    untracked; clean-but-violating committed files stay out of the run."""
+    repo = tmp_path / "work"
+    pkg = repo / "tree" / "repro" / "core"
+    pkg.mkdir(parents=True)
+    violating = "import time\n\ndef f():\n    return time.time()\n"
+    (pkg / "committed_bad.py").write_text(violating)
+    (pkg / "touched.py").write_text("def f():\n    return 1\n")
+    _git("init", "-q", cwd=repo)
+    _git("add", "-A", cwd=repo)
+    _git("commit", "-q", "-m", "seed", cwd=repo)
+
+    # Nothing changed: nothing scanned, exit 0 despite committed_bad.py.
+    clean = run_cli("tree", "--no-baseline", "--changed", cwd=repo)
+    assert clean.returncode == 0, clean.stdout + clean.stderr
+    assert "nothing to lint" in clean.stdout
+
+    # Modify one file and drop in one untracked file, both violating.
+    (pkg / "touched.py").write_text(violating)
+    (pkg / "fresh.py").write_text(violating)
+    gated = run_cli("tree", "--no-baseline", "--changed", cwd=repo)
+    assert gated.returncode == 2, gated.stdout + gated.stderr
+    assert "touched.py" in gated.stdout
+    assert "fresh.py" in gated.stdout
+    assert "committed_bad.py" not in gated.stdout
+    assert "scanned 2 file(s)" in gated.stdout

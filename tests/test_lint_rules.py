@@ -404,6 +404,10 @@ BADTREE_EXPECTED = {
     "repro/core/bad_mutable_default.py": "api-mutable-default",
     "repro/core/bad_bare_except.py": "api-bare-except",
     "repro/core/bad_suppression.py": "lint-suppress",
+    "repro/service/bad_await_race.py": "flow-await-race",
+    "repro/service/bad_dropped_task.py": "flow-dropped-coroutine",
+    "repro/service/bad_resource_leak.py": "flow-resource-leak",
+    "repro/core/bad_seed_taint.py": "flow-seed-taint",
 }
 
 
@@ -464,3 +468,34 @@ def test_shipped_report_module_is_clean():
     source = (SRC_ROOT / "repro/experiments/report.py").read_text()
     found = check_source(source, relpath="repro/experiments/report.py")
     assert not [v for v in found if v.discipline == "determinism"]
+
+
+# ----------------------------------------------------------------------
+# the aio.py drain await-race regression
+# ----------------------------------------------------------------------
+def test_drain_wall_start_race_would_have_been_flagged():
+    """The distilled ``AsyncioScheduler.drain`` pacing pattern — the one
+    real finding ``flow-await-race`` surfaced on the shipped tree
+    (justify-suppressed there under the single-drain invariant) — keeps
+    firing on its pre-suppression replica."""
+    result = LintEngine([FIXTURES / "regression"]).run(Baseline())
+    races = [
+        violation
+        for violation in result.new
+        if violation.rule == "flow-await-race"
+        and violation.path == "repro/service/aio_drain_pre_pr.py"
+    ]
+    assert len(races) == 1
+    assert "_wall_start" in races[0].message
+    assert races[0].source == (
+        "target = self._wall_start + head.when * self.time_scale"
+    )
+
+
+def test_shipped_aio_suppression_is_justified_not_silent():
+    """The in-place suppression in ``repro.service.aio`` is counted as a
+    justified suppression — never a naked directive, never a finding."""
+    source = (SRC_ROOT / "repro/service/aio.py").read_text()
+    found = check_source(source, relpath="repro/service/aio.py")
+    assert "lint-suppress" not in rules_of(found)
+    assert "flow-await-race" not in rules_of(found)

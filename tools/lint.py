@@ -11,6 +11,11 @@ Usage::
     python tools/lint.py --rules determinism  # one family (or rule id)
     python tools/lint.py --list-rules         # the catalog
     python tools/lint.py tests/lint_fixtures/badtree --no-baseline
+    python tools/lint.py --changed            # only files git sees as
+                                              # changed vs HEAD (fast
+                                              # pre-commit run)
+    python tools/lint.py --changed=main       # ... vs another ref
+    python tools/lint.py --format=sarif       # SARIF 2.1.0 for review UIs
 
 Exit codes: 0 — no new violations (baselined/suppressed findings are
 reported but do not gate); 2 — at least one new violation; 1 — usage or
@@ -23,6 +28,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -68,12 +74,123 @@ def _parse_args(argv: list[str]) -> argparse.Namespace:
         "(default: all)",
     )
     parser.add_argument(
-        "--json", action="store_true", help="machine-readable report"
+        "--json", action="store_true",
+        help="machine-readable report (alias for --format=json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json", "sarif"],
+        default="text",
+        help="report format (sarif renders in code-review UIs)",
+    )
+    parser.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        metavar="REF",
+        help="lint only files git reports as changed against REF "
+        "(default HEAD), plus untracked files — the fast pre-commit run; "
+        "exit codes are unchanged",
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalog"
     )
     return parser.parse_args(argv)
+
+
+def _changed_files(ref: str) -> list[Path] | None:
+    """Absolute paths of ``.py`` files changed vs ``ref`` (tracked
+    diffs plus untracked files), or ``None`` when git is unusable —
+    the caller falls back to a full scan rather than gating on nothing.
+
+    Runs git in the current working directory, so the diff scope follows
+    wherever the gate is invoked (normally the repo root)."""
+    top = subprocess.run(
+        ["git", "rev-parse", "--show-toplevel"],
+        capture_output=True,
+        text=True,
+    )
+    if top.returncode != 0:
+        print(
+            "warning: not inside a git work tree; scanning the full tree "
+            "instead",
+            file=sys.stderr,
+        )
+        return None
+    base = Path(top.stdout.strip())
+    files: set[Path] = set()
+    for args in (
+        # Both spellings emit toplevel-relative paths.
+        ["git", "diff", "--name-only", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "--full-name"],
+    ):
+        proc = subprocess.run(args, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(
+                f"warning: {' '.join(args)} failed "
+                f"({proc.stderr.strip() or 'no git?'}); "
+                "scanning the full tree instead",
+                file=sys.stderr,
+            )
+            return None
+        for line in proc.stdout.splitlines():
+            if line.endswith(".py"):
+                files.add((base / line).resolve())
+    return sorted(files)
+
+
+def _sarif_payload(result, rules) -> dict:
+    """SARIF 2.1.0: the *new* findings only, so a reviewer sees exactly
+    what gates (baselined/suppressed findings stay out, matching the
+    exit code)."""
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/STATIC_ANALYSIS.md",
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "shortDescription": {"text": rule.description},
+                                "help": {"text": f"enforces: {rule.citation}"},
+                                "defaultConfiguration": {
+                                    "level": rule.severity
+                                },
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": [
+                    {
+                        "ruleId": violation.rule,
+                        "level": violation.severity,
+                        "message": {"text": violation.message},
+                        "locations": [
+                            {
+                                "physicalLocation": {
+                                    "artifactLocation": {
+                                        "uri": violation.path,
+                                        "uriBaseId": "SRCROOT",
+                                    },
+                                    "region": {
+                                        "startLine": violation.line,
+                                        "startColumn": violation.col + 1,
+                                        "snippet": {"text": violation.source},
+                                    },
+                                }
+                            }
+                        ],
+                    }
+                    for violation in result.new
+                ],
+            }
+        ],
+    }
 
 
 def _list_rules() -> int:
@@ -100,7 +217,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 
-    engine = LintEngine(roots, rules=rules)
+    only = None
+    if args.changed is not None:
+        only = _changed_files(args.changed)
+        if only == []:
+            # Nothing changed: scan nothing, gate on nothing.
+            print("no changed .py files; nothing to lint")
+            return 0
+
+    engine = LintEngine(roots, rules=rules, only=only)
     baseline = (
         Baseline() if args.no_baseline else Baseline.load(args.baseline)
     )
@@ -114,7 +239,8 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
-    if args.json:
+    fmt = "json" if args.json else args.format
+    if fmt == "json":
         payload = {
             "summary": result.summary(),
             "new": [dataclasses.asdict(v) for v in result.new],
@@ -122,6 +248,14 @@ def main(argv: list[str] | None = None) -> int:
             "suppressed": [dataclasses.asdict(v) for v in result.suppressed],
         }
         print(json.dumps(payload, indent=2, sort_keys=True))
+    elif fmt == "sarif":
+        print(
+            json.dumps(
+                _sarif_payload(result, engine.rules),
+                indent=2,
+                sort_keys=True,
+            )
+        )
     else:
         for violation in result.new:
             print(violation.render())
